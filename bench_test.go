@@ -1,0 +1,372 @@
+// Benchmarks regenerating each of the paper's tables and figures (see
+// DESIGN.md §4 for the exhibit index) plus ablations of the design
+// choices DESIGN.md §6 calls out. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigN/BenchmarkTableN measures the work behind that
+// exhibit at smoke scale; cmd/experiments produces the full-scale data.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bgqsim"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+	"repro/internal/simindex"
+	"repro/internal/submat"
+	"repro/internal/wetlab"
+	"repro/internal/yeastgen"
+)
+
+var (
+	benchOnce   sync.Once
+	benchProt   *yeastgen.Proteome
+	benchEngine *pipe.Engine
+)
+
+func benchSetup(b *testing.B) (*yeastgen.Proteome, *pipe.Engine) {
+	b.Helper()
+	benchOnce.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		benchProt, benchEngine = pr, eng
+	})
+	return benchProt, benchEngine
+}
+
+// BenchmarkFig2FitnessGrid regenerates the Figure 2 fitness heat map.
+func BenchmarkFig2FitnessGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid := core.FitnessGrid(101)
+		if grid[0][100] != 1 {
+			b.Fatal("fitness peak wrong")
+		}
+	}
+}
+
+// BenchmarkFig3ThreadScaling measures the Figure 3 unit of work — one
+// full worker task (preprocess a candidate, PIPE against the whole
+// proteome) — for the easiest and hardest difficulty classes.
+func BenchmarkFig3ThreadScaling(b *testing.B) {
+	pr, eng := benchSetup(b)
+	all := make([]int, len(pr.Proteins))
+	for i := range all {
+		all[i] = i
+	}
+	for _, d := range []yeastgen.Difficulty{yeastgen.DifficultyEasiest, yeastgen.DifficultyHardest} {
+		b.Run(d.PaperName(), func(b *testing.B) {
+			q := pr.DifficultySequence(rand.New(rand.NewSource(1)), d, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ScoreMany(q, all, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4NodeModel evaluates the Figure 4 thread-speedup model.
+func BenchmarkFig4NodeModel(b *testing.B) {
+	node := bgqsim.BGQNode()
+	for i := 0; i < b.N; i++ {
+		for t := 1; t <= 64; t++ {
+			if node.Speedup(t) <= 0 {
+				b.Fatal("bad speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5WorkerScaling runs the Figure 5/6 discrete-event
+// simulation of one 1024-node generation.
+func BenchmarkFig5WorkerScaling(b *testing.B) {
+	w := bgqsim.PaperPopulations()["gen250"]
+	for i := 0; i < b.N; i++ {
+		p := bgqsim.DefaultClusterParams(1024)
+		p.Seed = int64(i + 1)
+		if _, err := bgqsim.SimulateGeneration(p, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6SpeedupCurve runs the full Figure 6 node sweep.
+func BenchmarkFig6SpeedupCurve(b *testing.B) {
+	w := bgqsim.PaperPopulations()["gen1"]
+	counts := bgqsim.PaperNodeCounts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bgqsim.SpeedupCurve(counts, bgqsim.DefaultClusterParams(64), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTuningRun is one Table 1-3 cell: a short design run with a given
+// parameter set and seed.
+func benchTuningRun(b *testing.B, pCross, pMut float64, seed int64) {
+	pr, eng := benchSetup(b)
+	target := pr.WetlabTargetIDs()[0]
+	gp := ga.Params{
+		PopulationSize:  24,
+		PCopy:           0.10,
+		PMutate:         pMut,
+		PCrossover:      pCross,
+		PMutateAA:       0.05,
+		SeqLen:          130,
+		CrossoverMargin: 10,
+		Seed:            seed,
+	}
+	var nts []int
+	for _, id := range pr.ComponentMembers(pr.Component(target)) {
+		if id != target && len(nts) < 5 {
+			nts = append(nts, id)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp.Seed = seed + int64(i)
+		_, err := core.Design(eng, target, nts, core.Options{
+			GA:          gp,
+			WarmStart:   true,
+			Cluster:     cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+			Termination: ga.Termination{MaxGenerations: 5},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ParamTuning exercises the Table 1 grid's balanced set.
+func BenchmarkTable1ParamTuning(b *testing.B) { benchTuningRun(b, 0.45, 0.45, 100) }
+
+// BenchmarkTable2ParamTuning exercises the Table 2 grid's
+// crossover-heavy set.
+func BenchmarkTable2ParamTuning(b *testing.B) { benchTuningRun(b, 0.75, 0.15, 200) }
+
+// BenchmarkTable3ParamTuning exercises the Table 3 grid's mutation-heavy
+// set.
+func BenchmarkTable3ParamTuning(b *testing.B) { benchTuningRun(b, 0.15, 0.75, 300) }
+
+// BenchmarkFig7LearningCurve measures a production-parameter design
+// generation (the unit the Figure 7 curves are made of).
+func BenchmarkFig7LearningCurve(b *testing.B) {
+	pr, eng := benchSetup(b)
+	target := pr.WetlabTargetIDs()[0]
+	var nts []int
+	for _, id := range pr.ComponentMembers(pr.Component(target)) {
+		if id != target && len(nts) < 8 {
+			nts = append(nts, id)
+		}
+	}
+	gp := ga.DefaultParams()
+	gp.PopulationSize = 40
+	gp.SeqLen = 130
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp.Seed = int64(i + 1)
+		_, err := core.Design(eng, target, nts, core.Options{
+			GA:          gp,
+			WarmStart:   true,
+			Cluster:     cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+			Termination: ga.Termination{MaxGenerations: 3},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAssay builds the Table 4/5 wet-lab experiment with an ideal
+// inhibitor (assay cost only; design cost is Fig7's benchmark).
+func benchAssay(b *testing.B, stressor wetlab.Stressor) {
+	pr, _ := benchSetup(b)
+	target := pr.WetlabTargetIDs()[0]
+	cStar := pr.ComplementOf(pr.WetlabTargetMotif(0))
+	body := []byte(seq.Random(rand.New(rand.NewSource(2)), "anti", 140, seq.YeastComposition()).Residues())
+	copy(body[40:], pr.MasterMotif(cStar).Residues())
+	exp := wetlab.Experiment{
+		Proteome:  pr,
+		TargetID:  target,
+		Inhibitor: seq.MustNew("anti", string(body)),
+		Stressor:  stressor,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Seed = int64(i + 1)
+		table := exp.Run(5)
+		if len(table.Rows) != 5 {
+			b.Fatal("bad assay")
+		}
+	}
+}
+
+// BenchmarkTable4Cycloheximide runs the Table 4 (and Figure 8) assay.
+func BenchmarkTable4Cycloheximide(b *testing.B) { benchAssay(b, wetlab.Cycloheximide65()) }
+
+// BenchmarkTable5UV runs the Table 5 (and Figure 9) assay.
+func BenchmarkTable5UV(b *testing.B) { benchAssay(b, wetlab.UV30s()) }
+
+// BenchmarkFig10SpotTest runs the Figure 10 dilution series.
+func BenchmarkFig10SpotTest(b *testing.B) {
+	pr, _ := benchSetup(b)
+	exp := wetlab.Experiment{
+		Proteome:  pr,
+		TargetID:  pr.WetlabTargetIDs()[0],
+		Inhibitor: pr.Proteins[1],
+		Stressor:  wetlab.UV30s(),
+		Seed:      1,
+	}
+	for i := 0; i < b.N; i++ {
+		exp.SpotTest(4)
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---------------------------------------
+
+// BenchmarkAblationMatrix compares PAM120 (the paper's choice) against
+// BLOSUM62 for engine scoring.
+func BenchmarkAblationMatrix(b *testing.B) {
+	pr, _ := benchSetup(b)
+	for _, m := range []*submat.Matrix{submat.PAM120(), submat.BLOSUM62()} {
+		b.Run(m.Name(), func(b *testing.B) {
+			eng, err := pipe.New(pr.Proteins, pr.Graph,
+				pipe.Config{Index: simindex.Config{Matrix: m}}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ScorePair(i%20, (i+7)%20)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilter compares the 3x3 box filter against raw cells.
+func BenchmarkAblationFilter(b *testing.B) {
+	pr, _ := benchSetup(b)
+	for _, cfg := range []struct {
+		name       string
+		unfiltered bool
+	}{{"filtered", false}, {"unfiltered", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{Unfiltered: cfg.unfiltered}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ScorePair(i%20, (i+7)%20)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndex compares seeded window search against brute
+// force — the similarity-database design choice.
+func BenchmarkAblationIndex(b *testing.B) {
+	pr, eng := benchSetup(b)
+	q := pr.Proteins[0]
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Index().SequenceSimilarity(q, 1)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Index().BruteSequenceSimilarity(q, 1)
+		}
+	})
+}
+
+// BenchmarkAblationDispatch compares the paper's on-demand dispatch
+// against static round-robin partitioning; compare the reported
+// makespan_ns metric, not just wall time.
+func BenchmarkAblationDispatch(b *testing.B) {
+	pr, eng := benchSetup(b)
+	pool, err := cluster.New(eng, 0, []int{1, 2, 3}, cluster.Config{Workers: 4, ThreadsPerWorker: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Heterogeneous candidate costs: mix difficulty classes.
+	rng := rand.New(rand.NewSource(3))
+	var seqs []seq.Sequence
+	for i := 0; i < 16; i++ {
+		d := yeastgen.Difficulty(i % int(yeastgen.NumDifficulties))
+		seqs = append(seqs, pr.DifficultySequence(rng, d, 160))
+	}
+	b.Run("on-demand", func(b *testing.B) {
+		var makespan int64
+		for i := 0; i < b.N; i++ {
+			rep := pool.EvaluateAllReport(seqs)
+			makespan += int64(rep.Makespan())
+		}
+		b.ReportMetric(float64(makespan)/float64(b.N), "makespan_ns")
+	})
+	b.Run("static", func(b *testing.B) {
+		var makespan int64
+		for i := 0; i < b.N; i++ {
+			rep := pool.EvaluateAllStatic(seqs)
+			makespan += int64(rep.Makespan())
+		}
+		b.ReportMetric(float64(makespan)/float64(b.N), "makespan_ns")
+	})
+}
+
+// BenchmarkPIPEScore is the engine's hot path in isolation.
+func BenchmarkPIPEScore(b *testing.B) {
+	_, eng := benchSetup(b)
+	q := eng.DBQuery(0)
+	scorer := eng.NewScorer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scorer.Score(q, i%benchProt.Graph.NumProteins())
+	}
+}
+
+// BenchmarkQueryPreprocess is Algorithm 2's per-candidate preprocessing.
+func BenchmarkQueryPreprocess(b *testing.B) {
+	pr, eng := benchSetup(b)
+	q := seq.Random(rand.New(rand.NewSource(4)), "cand", 150, seq.YeastComposition())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.NewQuery(q, 1)
+	}
+	_ = pr
+}
+
+// BenchmarkGAGeneration measures one GA generation without PIPE (pure
+// selection + operators).
+func BenchmarkGAGeneration(b *testing.B) {
+	eval := ga.EvaluatorFunc(func(seqs []seq.Sequence) []float64 {
+		out := make([]float64, len(seqs))
+		for i := range out {
+			out[i] = float64(i%10) / 10
+		}
+		return out
+	})
+	p := ga.DefaultParams()
+	p.PopulationSize = 200
+	engine, err := ga.New(p, eval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.InitPopulation()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Step()
+	}
+}

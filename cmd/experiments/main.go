@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	experiments -run all            # every exhibit, full scale
+//	experiments -run fig7 -quick    # one exhibit at smoke-test scale
+//	experiments -run table4 -data out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "all", "exhibit to run: all, or one of "+strings.Join(experiments.Names(), ","))
+		quick   = flag.Bool("quick", false, "smoke-test scale (small proteome, short GA runs)")
+		dataDir = flag.String("data", "", "write .dat/.txt files for each exhibit into this directory")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(*quick, os.Stdout, *dataDir)
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = env.RunAll()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			if err = env.Run(strings.TrimSpace(name)); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))
+}

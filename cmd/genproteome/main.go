@@ -1,0 +1,62 @@
+// Command genproteome generates a synthetic yeast-like proteome and
+// interaction network (the stand-in for S. cerevisiae + BioGRID; see
+// DESIGN.md) and writes them as FASTA and TSV files.
+//
+// Usage:
+//
+//	genproteome -out data/ [-proteins 500] [-seed 1] [-wetlab 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genproteome: ")
+	var (
+		out      = flag.String("out", "data", "output directory")
+		proteins = flag.Int("proteins", 500, "number of regular proteins")
+		motifs   = flag.Int("motifs", 80, "motif vocabulary size (even)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		wetlab   = flag.Int("wetlab", 3, "number of planted wet-lab targets")
+	)
+	flag.Parse()
+
+	p := yeastgen.DefaultParams()
+	p.NumProteins = *proteins
+	p.NumMotifs = *motifs
+	p.Seed = *seed
+	p.WetlabTargets = *wetlab
+	pr, err := yeastgen.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fasta := filepath.Join(*out, "proteome.fasta")
+	if err := seq.SaveFASTAFile(fasta, pr.Proteins); err != nil {
+		log.Fatal(err)
+	}
+	tsv := filepath.Join(*out, "interactions.tsv")
+	if err := pr.Graph.SaveTSVFile(tsv); err != nil {
+		log.Fatal(err)
+	}
+	st := pr.Graph.Stats()
+	fmt.Printf("wrote %s (%d proteins) and %s (%d interactions)\n",
+		fasta, len(pr.Proteins), tsv, pr.Graph.NumEdges())
+	fmt.Printf("degree: min %d, mean %.2f, max %d, isolated %d\n",
+		st.Min, st.Mean, st.Max, st.Isolated)
+	for k, id := range pr.WetlabTargetIDs() {
+		fmt.Printf("wet-lab target %d: %s (%d aa, %s)\n",
+			k, pr.Proteins[id].Name(), pr.Proteins[id].Len(), pr.Component(id))
+	}
+}

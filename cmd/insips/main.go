@@ -1,0 +1,176 @@
+// Command insips designs an inhibitory protein: given a proteome, a
+// known-interaction network and a target protein, it evolves a novel
+// sequence predicted to bind the target and nothing else (the paper's
+// core workflow). Non-targets default to every other protein in the
+// proteome, the paper's "all other proteins" recipe, clipped by
+// -max-non-targets.
+//
+// Usage:
+//
+//	insips -proteome data/proteome.fasta -graph data/interactions.tsv \
+//	       -target YBL051C -pop 200 -min-gens 250 -stall 50 \
+//	       -out anti-YBL051C.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/island"
+	"repro/internal/pipe"
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insips: ")
+	var (
+		proteomePath = flag.String("proteome", "data/proteome.fasta", "proteome FASTA")
+		graphPath    = flag.String("graph", "data/interactions.tsv", "interaction TSV")
+		targetName   = flag.String("target", "", "target protein name")
+		nonTargets   = flag.String("non-targets", "", "comma-separated non-target names (default: all other proteins)")
+		maxNT        = flag.Int("max-non-targets", 25, "cap on the non-target set size")
+		dbPath       = flag.String("db", "", "precomputed PIPE similarity database (see cmd/buildpipedb)")
+		outPath      = flag.String("out", "", "write the designed protein to this FASTA file")
+
+		pop      = flag.Int("pop", 200, "population size (paper: 1000)")
+		seqLen   = flag.Int("len", 150, "designed sequence length")
+		pCross   = flag.Float64("p-crossover", 0.5, "crossover probability")
+		pMutate  = flag.Float64("p-mutate", 0.4, "mutation probability")
+		pCopy    = flag.Float64("p-copy", 0.1, "copy probability")
+		pAA      = flag.Float64("p-mutate-aa", 0.05, "per-residue mutation probability")
+		seed     = flag.Int64("seed", 1, "random seed")
+		minGens  = flag.Int("min-gens", 100, "minimum generations (paper: 250)")
+		stall    = flag.Int("stall", 50, "stop after this many generations without a new best")
+		maxGens  = flag.Int("max-gens", 400, "hard generation cap")
+		warm     = flag.Bool("warm-start", true, "seed the population with natural-fragment chimeras")
+		workers  = flag.Int("workers", 2, "worker processes")
+		threads  = flag.Int("threads", 2, "threads per worker")
+		islands  = flag.Int("islands", 0, "run the multi-rack island model with this many masters (0 = single master)")
+		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
+		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
+	)
+	flag.Parse()
+	if *targetName == "" {
+		log.Fatal("need -target NAME")
+	}
+
+	proteins, err := seq.LoadFASTAFile(*proteomePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := ppigraph.LoadTSVFile(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var engine *pipe.Engine
+	if *dbPath != "" {
+		log.Printf("loading PIPE similarity database %s...", *dbPath)
+		engine, err = pipe.NewFromDBFile(proteins, graph, pipe.Config{}, *dbPath)
+	} else {
+		log.Printf("building PIPE engine over %d proteins, %d interactions...",
+			len(proteins), graph.NumEdges())
+		engine, err = pipe.New(proteins, graph, pipe.Config{}, 0)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	targetID, ok := graph.ID(*targetName)
+	if !ok {
+		log.Fatalf("target %q not in the proteome", *targetName)
+	}
+	var ntIDs []int
+	if *nonTargets != "" {
+		for _, name := range strings.Split(*nonTargets, ",") {
+			id, ok := graph.ID(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("non-target %q not in the proteome", name)
+			}
+			ntIDs = append(ntIDs, id)
+		}
+	} else {
+		for id := 0; id < graph.NumProteins() && len(ntIDs) < *maxNT; id++ {
+			if id != targetID {
+				ntIDs = append(ntIDs, id)
+			}
+		}
+	}
+
+	opts := core.Options{
+		GA: ga.Params{
+			PopulationSize:  *pop,
+			PCopy:           *pCopy,
+			PMutate:         *pMutate,
+			PCrossover:      *pCross,
+			PMutateAA:       *pAA,
+			SeqLen:          *seqLen,
+			CrossoverMargin: 10,
+			Seed:            *seed,
+		},
+		WarmStart:   *warm,
+		Cluster:     cluster.Config{Workers: *workers, ThreadsPerWorker: *threads},
+		Termination: ga.Termination{MinGenerations: *minGens, StallGenerations: *stall, MaxGenerations: *maxGens},
+	}
+	if *progress > 0 {
+		opts.OnGeneration = func(cp core.CurvePoint) {
+			if cp.Generation%*progress == 0 {
+				log.Printf("gen %4d: fitness %.4f  target %.4f  maxNT %.4f",
+					cp.Generation, cp.Fitness, cp.Target, cp.MaxNonTarget)
+			}
+		}
+	}
+	if *islands > 1 {
+		// Multi-rack mode (paper Section 3.2): one master per rack,
+		// syncing after each round.
+		ires, err := island.Run(
+			core.Problem{Engine: engine, TargetID: targetID, NonTargetIDs: ntIDs},
+			opts.GA,
+			island.Config{
+				Islands:      *islands,
+				SyncInterval: *syncIv,
+				Generations:  *maxGens,
+				Cluster:      cluster.Config{Workers: *workers, ThreadsPerWorker: *threads},
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("island model: %d masters, %d syncs, best from island %d\n",
+			*islands, ires.Migrations, ires.BestIsland)
+		fmt.Printf("fitness            %.4f\n", ires.Best.Fitness)
+		designed := ires.Best.Seq.WithName("anti-" + *targetName)
+		if *outPath != "" {
+			if err := seq.SaveFASTAFile(*outPath, []seq.Sequence{designed}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+		} else {
+			fmt.Printf("sequence: %s\n", designed.Residues())
+		}
+		return
+	}
+	res, err := core.Design(engine, targetID, ntIDs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("designed anti-%s after %d generations\n", *targetName, res.Generations)
+	fmt.Printf("fitness            %.4f\n", res.BestDetail.Fitness)
+	fmt.Printf("PIPE vs target     %.4f\n", res.BestDetail.Target)
+	fmt.Printf("max off-target     %.4f\n", res.BestDetail.MaxNonTarget)
+	fmt.Printf("avg off-target     %.4f\n", res.BestDetail.AvgNonTarget)
+	designed := res.Best.WithName("anti-" + *targetName)
+	if *outPath != "" {
+		if err := seq.SaveFASTAFile(*outPath, []seq.Sequence{designed}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	} else {
+		fmt.Printf("sequence: %s\n", designed.Residues())
+	}
+}

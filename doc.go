@@ -1,0 +1,22 @@
+// Package repro is InSiPS-Go: a from-scratch Go reproduction of
+// "Engineering Inhibitory Proteins with InSiPS: The In-Silico Protein
+// Synthesizer" (Schoenrock et al., SC '15).
+//
+// InSiPS designs novel inhibitory proteins: given a target protein and a
+// set of non-target proteins, a genetic algorithm evolves a sequence
+// whose PIPE-predicted interaction profile is "binds the target, binds
+// nothing else". This repository implements the complete system — the
+// PIPE interaction predictor with its PAM120 window-similarity database,
+// the genetic algorithm, the two-level master/worker parallel engine
+// (goroutines in-process, TCP across processes), a synthetic stand-in
+// for the yeast proteome and interaction database, a stochastic wet-lab
+// simulator for the paper's validation assays, and a calibrated Blue
+// Gene/Q model for its scaling studies.
+//
+// Start with README.md for usage, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/experiments -run all
+package repro

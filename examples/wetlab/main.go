@@ -1,0 +1,85 @@
+// Wetlab: the paper's full validation loop — design an inhibitor for a
+// stress-linked target, synthesize it "in silico", and run the
+// conditional-sensitivity assay with all four strains, colony counts,
+// and the spot test (paper Section 4.2).
+//
+//	go run ./examples/wetlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/wetlab"
+	"repro/internal/yeastgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	proteome, err := yeastgen.Generate(yeastgen.TestParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := pipe.New(proteome.Proteins, proteome.Graph, pipe.Config{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// YBL051C (PIN4 in the paper): deleting it sensitizes yeast to
+	// cycloheximide, so an effective inhibitor should do the same.
+	target := proteome.WetlabTargetIDs()[0]
+	targetName := proteome.Proteins[target].Name()
+	var nonTargets []int
+	for _, id := range proteome.ComponentMembers(proteome.Component(target)) {
+		if id != target && len(nonTargets) < 12 {
+			nonTargets = append(nonTargets, id)
+		}
+	}
+
+	fmt.Printf("designing anti-%s (this is the expensive part)...\n", targetName)
+	params := ga.DefaultParams()
+	params.PopulationSize = 120
+	params.SeqLen = 130
+	params.Seed = 3
+	design, err := core.Design(engine, target, nonTargets, core.Options{
+		GA:          params,
+		WarmStart:   true,
+		Cluster:     cluster.Config{Workers: 2, ThreadsPerWorker: 2},
+		Termination: ga.Termination{MinGenerations: 60, StallGenerations: 40, MaxGenerations: 120},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitness %.3f (PIPE vs target %.3f, max off-target %.3f)\n\n",
+		design.BestDetail.Fitness, design.BestDetail.Target, design.BestDetail.MaxNonTarget)
+
+	// The wet lab: four strains, 65 ng/mL cycloheximide, five runs.
+	exp := wetlab.Experiment{
+		Proteome:  proteome,
+		TargetID:  target,
+		Inhibitor: design.Best,
+		Stressor:  wetlab.Cycloheximide65(),
+		Seed:      7,
+	}
+	table := exp.Run(5)
+	fmt.Printf("colony counts after %s (%% of unexposed):\n", exp.Stressor.Name)
+	fmt.Printf("%-5s %6s %6s %11s %9s\n", "run", "WT", "WT+", "WT+InSiPS", "knockout")
+	for r, row := range table.Rows {
+		fmt.Printf("%-5d %5.0f%% %5.0f%% %10.0f%% %8.0f%%\n", r+1,
+			row[wetlab.WT]*100, row[wetlab.WTPlasmid]*100,
+			row[wetlab.WTInSiPS]*100, row[wetlab.Knockout]*100)
+	}
+	avg := table.Averages()
+	fmt.Printf("%-5s %5.0f%% %5.0f%% %10.0f%% %8.0f%%\n", "avg",
+		avg[wetlab.WT]*100, avg[wetlab.WTPlasmid]*100,
+		avg[wetlab.WTInSiPS]*100, avg[wetlab.Knockout]*100)
+	fmt.Printf("\ninhibition observed: %v\n", table.InhibitionObserved(0.08))
+	fmt.Printf("(paper Table 4: WT 90%%, WT+ 91%%, WT+InSiPS 56%%, knockout 27%%)\n\n")
+
+	fmt.Println("spot test (10x dilutions down the rows):")
+	fmt.Print(wetlab.RenderSpotTest(exp.SpotTest(4)))
+}

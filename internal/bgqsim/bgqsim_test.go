@@ -1,0 +1,257 @@
+package bgqsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeSpeedupShape(t *testing.T) {
+	m := BGQNode()
+	// Perfectly linear while threads own physical cores (paper Figure 4).
+	for th := 1; th <= 16; th++ {
+		if got := m.Speedup(th); got != float64(th) {
+			t.Errorf("Speedup(%d) = %f, want %f", th, got, float64(th))
+		}
+	}
+	s32, s64 := m.Speedup(32), m.Speedup(64)
+	if s32 <= 16 || s32 >= 32 {
+		t.Errorf("Speedup(32) = %f, want sub-linear in (16,32)", s32)
+	}
+	if s64 <= s32 || s64 >= 64 {
+		t.Errorf("Speedup(64) = %f, want in (%f,64)", s64, s32)
+	}
+	// Paper's observed magnitudes: ~26-30x at 32 threads, ~33-40x at 64.
+	if s32 < 24 || s32 > 30 {
+		t.Errorf("Speedup(32) = %f outside the paper's band", s32)
+	}
+	if s64 < 32 || s64 > 42 {
+		t.Errorf("Speedup(64) = %f outside the paper's band", s64)
+	}
+}
+
+func TestNodeSpeedupMonotone(t *testing.T) {
+	m := BGQNode()
+	prev := 0.0
+	for th := 1; th <= 64; th++ {
+		s := m.Speedup(th)
+		if s <= prev {
+			t.Fatalf("Speedup(%d) = %f not increasing (prev %f)", th, s, prev)
+		}
+		prev = s
+	}
+	// Saturates at the hardware thread limit.
+	if m.Speedup(128) != m.Speedup(64) {
+		t.Error("speedup grows beyond hardware threads")
+	}
+	if m.Speedup(0) != 0 {
+		t.Error("Speedup(0) != 0")
+	}
+}
+
+func TestNodeRuntime(t *testing.T) {
+	m := BGQNode()
+	if rt := m.Runtime(1600, 16); math.Abs(rt-100) > 1e-9 {
+		t.Errorf("Runtime(1600,16) = %f, want 100", rt)
+	}
+	if m.Runtime(1600, 1) != 1600 {
+		t.Error("single-thread runtime != work")
+	}
+}
+
+func TestNodeDeepSMTFloor(t *testing.T) {
+	m := NodeModel{Cores: 2, HWThreads: 16, SMTGain: []float64{0.5}}
+	// Bands beyond the provided gains use the 0.1 floor and stay monotone.
+	prev := 0.0
+	for th := 1; th <= 16; th++ {
+		s := m.Speedup(th)
+		if s < prev {
+			t.Fatalf("speedup decreased at %d threads", th)
+		}
+		prev = s
+	}
+}
+
+func TestFromTaskTimes(t *testing.T) {
+	times := []time.Duration{time.Second, 3 * time.Second}
+	w := FromTaskTimes(times, 1)
+	if w.Tasks != 2 || math.Abs(w.TaskMean-2) > 1e-9 {
+		t.Errorf("workload %+v", w)
+	}
+	if math.Abs(w.TaskCV-0.5) > 1e-9 { // std 1, mean 2
+		t.Errorf("CV = %f, want 0.5", w.TaskCV)
+	}
+	scaled := FromTaskTimes(times, 10)
+	if math.Abs(scaled.TaskMean-20) > 1e-9 {
+		t.Errorf("scaled mean = %f", scaled.TaskMean)
+	}
+	if math.Abs(scaled.TaskCV-w.TaskCV) > 1e-9 {
+		t.Error("scaling changed CV")
+	}
+	if FromTaskTimes(nil, 1).Tasks != 0 {
+		t.Error("empty times not handled")
+	}
+}
+
+func TestSimulateGenerationValidation(t *testing.T) {
+	if _, err := SimulateGeneration(ClusterParams{Nodes: 1}, Workload{Tasks: 10, TaskMean: 1}); err == nil {
+		t.Error("1-node cluster accepted")
+	}
+	if _, err := SimulateGeneration(DefaultClusterParams(64), Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestSimulateGenerationBasics(t *testing.T) {
+	p := DefaultClusterParams(64)
+	w := Workload{Tasks: 1500, TaskMean: 110, TaskCV: 0.35}
+	res, err := SimulateGeneration(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 63 workers, 1500 tasks of ~110 s: runtime near 1500*110/63 + serial.
+	ideal := 1500.0 * 110 / 63
+	if res.Runtime < ideal || res.Runtime > 1.6*ideal {
+		t.Errorf("runtime %f far from ideal %f", res.Runtime, ideal)
+	}
+	if res.WorkerBusy <= 0.5 || res.WorkerBusy > 1 {
+		t.Errorf("worker busy fraction %f", res.WorkerBusy)
+	}
+	if res.MasterUtilization <= 0 || res.MasterUtilization > 1 {
+		t.Errorf("master utilization %f", res.MasterUtilization)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := DefaultClusterParams(128)
+	w := PaperPopulations()["gen100"]
+	a, _ := SimulateGeneration(p, w)
+	b, _ := SimulateGeneration(p, w)
+	if a.Runtime != b.Runtime {
+		t.Error("simulation not deterministic under fixed seed")
+	}
+	p.Seed = 2
+	c, _ := SimulateGeneration(p, w)
+	if c.Runtime == a.Runtime {
+		t.Error("different seeds gave identical runtime")
+	}
+}
+
+// TestFigure56Shape is the package's headline test: the simulated curve
+// must reproduce the paper's Figure 6 — near-linear speedup at moderate
+// node counts, a visible fall-off at 1024 nodes (the paper reports ~12x
+// where 16x would be perfect), and better scaling for older populations.
+func TestFigure56Shape(t *testing.T) {
+	counts := PaperNodeCounts()
+	pops := PaperPopulations()
+
+	speedupAt1024 := map[string]float64{}
+	for name, w := range pops {
+		runtimes, speedups, err := SpeedupCurve(counts, DefaultClusterParams(64), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Runtimes trend downward with node count (small plateaus from
+		// task quantization and resampling are allowed).
+		for i := 1; i < len(runtimes); i++ {
+			if runtimes[i] > runtimes[i-1]*1.05 {
+				t.Errorf("%s: runtime increased at %d nodes", name, counts[i])
+			}
+		}
+		if runtimes[len(runtimes)-1] > runtimes[0]/4 {
+			t.Errorf("%s: runtime at 1024 nodes only %f of baseline %f",
+				name, runtimes[len(runtimes)-1], runtimes[0])
+		}
+		// Near-linear at 2x the baseline.
+		if speedups[1] < 1.7 || speedups[1] > 2.05 {
+			t.Errorf("%s: speedup at 128 nodes = %f, want ~2", name, speedups[1])
+		}
+		last := speedups[len(speedups)-1]
+		if last < 4 || last >= 16 {
+			t.Errorf("%s: speedup at 1024 nodes = %f, want sub-linear in [4,16)", name, last)
+		}
+		speedupAt1024[name] = last
+	}
+	// The paper: later (more complex, more homogeneous) populations scale
+	// better.
+	if !(speedupAt1024["gen250"] > speedupAt1024["gen100"] &&
+		speedupAt1024["gen100"] > speedupAt1024["gen1"]) {
+		t.Errorf("speedup ordering wrong: gen1 %f, gen100 %f, gen250 %f",
+			speedupAt1024["gen1"], speedupAt1024["gen100"], speedupAt1024["gen250"])
+	}
+	// The best population lands near the paper's ~12x headline (the
+	// quantization ceiling of 1500 tasks on 1023 workers is ~11.9x).
+	if speedupAt1024["gen250"] < 9 || speedupAt1024["gen250"] > 13 {
+		t.Errorf("gen250 speedup at 1024 = %f, paper reports ~12x", speedupAt1024["gen250"])
+	}
+}
+
+func TestMasterSaturationDegradesScaling(t *testing.T) {
+	// With a 10x slower master, 1024-node speedup must collapse well
+	// below the default configuration's.
+	w := PaperPopulations()["gen1"]
+	slow := DefaultClusterParams(64)
+	slow.MasterService *= 10
+	_, sFast, _ := SpeedupCurve([]int{64, 1024}, DefaultClusterParams(64), w)
+	_, sSlow, _ := SpeedupCurve([]int{64, 1024}, slow, w)
+	if sSlow[1] >= sFast[1] {
+		t.Errorf("slow master speedup %f >= fast %f", sSlow[1], sFast[1])
+	}
+}
+
+func TestAmdahlTermCapsScaling(t *testing.T) {
+	// A huge serial per-generation term must bound speedup regardless of
+	// node count.
+	w := PaperPopulations()["gen1"]
+	p := DefaultClusterParams(64)
+	p.MasterPerGen = 2000 // comparable to the parallel part at 64 nodes
+	_, speedups, err := SpeedupCurve([]int{64, 1024}, p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedups[1] > 3 {
+		t.Errorf("speedup %f despite dominant serial fraction", speedups[1])
+	}
+}
+
+func TestPaperNodeCounts(t *testing.T) {
+	counts := PaperNodeCounts()
+	if counts[0] != 64 || counts[len(counts)-1] != 1024 || len(counts) != 16 {
+		t.Errorf("node counts %v", counts)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Error("percentile extremes wrong")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Errorf("median = %f", Percentile(xs, 0.5))
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+// Property: adding workers never increases simulated runtime.
+func TestMoreNodesNeverSlower(t *testing.T) {
+	f := func(seedRaw int64, extraRaw uint8) bool {
+		w := Workload{Tasks: 300, TaskMean: 50, TaskCV: 0.4}
+		p1 := DefaultClusterParams(64)
+		p1.Seed = seedRaw
+		p2 := p1
+		p2.Nodes = 64 + int(extraRaw)*4
+		r1, err1 := SimulateGeneration(p1, w)
+		r2, err2 := SimulateGeneration(p2, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Allow 2% tolerance: different node counts resample task times.
+		return r2.Runtime <= r1.Runtime*1.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package cluster implements the paper's two-level master/worker engine
+// (Section 2.3) in-process: the master hands candidate sequences to
+// worker processes on demand (Algorithm 1), and each worker preprocesses
+// the candidate and scores it against the target and non-targets with a
+// pool of computational threads sharing read-only data (Algorithm 2).
+//
+// MPI ranks become goroutines and the broadcast data (interaction graph,
+// similarity database and index, protein sequences) becomes the shared
+// immutable pipe.Engine. On-demand dispatch is a single task channel —
+// workers pull the next candidate the moment they finish one, which is
+// exactly the paper's load-balancing argument. A static round-robin
+// dispatcher is included for the ablation of that choice.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// Config sizes the worker pool.
+type Config struct {
+	// Workers is the number of worker processes (the paper's cluster
+	// nodes). Default 4.
+	Workers int
+	// ThreadsPerWorker is the number of computational threads inside each
+	// worker (the paper's OpenMP threads; 64 on a BG/Q node). Default 4.
+	ThreadsPerWorker int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.ThreadsPerWorker == 0 {
+		c.ThreadsPerWorker = 4
+	}
+	return c
+}
+
+// Result carries the PIPE predictions for one candidate: the scores the
+// master needs to compute the candidate's fitness.
+type Result struct {
+	Index           int
+	TargetScore     float64
+	NonTargetScores []float64
+}
+
+// Report is the instrumented outcome of evaluating one generation; the
+// timing fields calibrate the Blue Gene/Q scaling model (package bgqsim).
+type Report struct {
+	Results []Result
+	// Elapsed is the wall-clock time of the whole evaluation.
+	Elapsed time.Duration
+	// WorkerBusy is the per-worker total task-processing time; its max is
+	// the makespan a real distributed run would see.
+	WorkerBusy []time.Duration
+	// TaskTimes is the per-candidate processing time (preprocessing plus
+	// all PIPE predictions).
+	TaskTimes []time.Duration
+}
+
+// Makespan returns the busiest worker's total processing time — the
+// generation time a distributed deployment is bounded by.
+func (r Report) Makespan() time.Duration {
+	var max time.Duration
+	for _, b := range r.WorkerBusy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Pool evaluates candidate sequences against a fixed target and
+// non-target set. It is safe for concurrent use; each EvaluateAll call
+// spins up its own worker goroutines.
+type Pool struct {
+	engine       *pipe.Engine
+	targetID     int
+	nonTargetIDs []int
+	cfg          Config
+}
+
+// New creates a pool. The target and non-target IDs must be valid protein
+// IDs of the engine's proteome.
+func New(engine *pipe.Engine, targetID int, nonTargetIDs []int, cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	n := engine.Graph().NumProteins()
+	if targetID < 0 || targetID >= n {
+		return nil, fmt.Errorf("cluster: target ID %d out of range", targetID)
+	}
+	for _, id := range nonTargetIDs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("cluster: non-target ID %d out of range", id)
+		}
+		if id == targetID {
+			return nil, fmt.Errorf("cluster: target %d also listed as non-target", id)
+		}
+	}
+	return &Pool{engine: engine, targetID: targetID, nonTargetIDs: nonTargetIDs, cfg: cfg}, nil
+}
+
+// Config returns the pool's effective configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// TargetID returns the target protein ID.
+func (p *Pool) TargetID() int { return p.targetID }
+
+// NonTargetIDs returns the non-target protein IDs (shared; read-only).
+func (p *Pool) NonTargetIDs() []int { return p.nonTargetIDs }
+
+// processCandidate is Algorithm 2's body: preprocess the candidate
+// (build its similarity profile in parallel), then let the worker's
+// threads pull target/non-target predictions until none remain.
+func (p *Pool) processCandidate(s seq.Sequence) Result {
+	query := p.engine.NewQuery(s, p.cfg.ThreadsPerWorker)
+	work := make([]int, 0, len(p.nonTargetIDs)+1)
+	work = append(work, p.targetID)
+	work = append(work, p.nonTargetIDs...)
+	scores := make([]float64, len(work))
+	var next int64
+	var wg sync.WaitGroup
+	for t := 0; t < p.cfg.ThreadsPerWorker; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer := p.engine.NewScorer()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(work) {
+					return
+				}
+				scores[i] = scorer.Score(query, work[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{TargetScore: scores[0], NonTargetScores: scores[1:]}
+}
+
+// EvaluateAll scores every candidate with on-demand dispatch and returns
+// results indexed like seqs.
+func (p *Pool) EvaluateAll(seqs []seq.Sequence) []Result {
+	return p.evaluate(seqs, false).Results
+}
+
+// EvaluateAllReport is EvaluateAll with full instrumentation.
+func (p *Pool) EvaluateAllReport(seqs []seq.Sequence) Report {
+	return p.evaluate(seqs, false)
+}
+
+// EvaluateAllStatic partitions candidates round-robin up front instead of
+// dispatching on demand (the ablation of the paper's load-balancing
+// choice); compare Report.Makespan against the on-demand dispatcher.
+func (p *Pool) EvaluateAllStatic(seqs []seq.Sequence) Report {
+	return p.evaluate(seqs, true)
+}
+
+func (p *Pool) evaluate(seqs []seq.Sequence, static bool) Report {
+	start := time.Now()
+	rep := Report{
+		Results:    make([]Result, len(seqs)),
+		WorkerBusy: make([]time.Duration, p.cfg.Workers),
+		TaskTimes:  make([]time.Duration, len(seqs)),
+	}
+	var wg sync.WaitGroup
+	if static {
+		// Static round-robin: worker w gets candidates w, w+W, w+2W, ...
+		for w := 0; w < p.cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(seqs); i += p.cfg.Workers {
+					t0 := time.Now()
+					res := p.processCandidate(seqs[i])
+					res.Index = i
+					rep.Results[i] = res
+					rep.TaskTimes[i] = time.Since(t0)
+					rep.WorkerBusy[w] += rep.TaskTimes[i]
+				}
+			}(w)
+		}
+		wg.Wait()
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+	// On-demand: the master feeds a channel; a receive is a work request.
+	tasks := make(chan int)
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range tasks {
+				t0 := time.Now()
+				res := p.processCandidate(seqs[i])
+				res.Index = i
+				rep.Results[i] = res
+				rep.TaskTimes[i] = time.Since(t0)
+				rep.WorkerBusy[w] += rep.TaskTimes[i]
+			}
+		}(w)
+	}
+	for i := range seqs {
+		tasks <- i
+	}
+	close(tasks) // the END signal of Algorithm 1
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	return rep
+}

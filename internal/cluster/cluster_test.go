@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pipe"
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+var (
+	once   sync.Once
+	prot   *yeastgen.Proteome
+	engine *pipe.Engine
+)
+
+func setup(t testing.TB) (*yeastgen.Proteome, *pipe.Engine) {
+	once.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		prot, engine = pr, eng
+	})
+	return prot, engine
+}
+
+func candidates(n, length int, seed int64) []seq.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]seq.Sequence, n)
+	for i := range out {
+		out[i] = seq.Random(rng, "cand", length, seq.YeastComposition())
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	_, eng := setup(t)
+	if _, err := New(eng, -1, nil, Config{}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := New(eng, 10000, nil, Config{}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := New(eng, 0, []int{0}, Config{}); err == nil {
+		t.Error("target in non-target set accepted")
+	}
+	if _, err := New(eng, 0, []int{99999}, Config{}); err == nil {
+		t.Error("out-of-range non-target accepted")
+	}
+	p, err := New(eng, 0, []int{1, 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Workers != 4 || p.Config().ThreadsPerWorker != 4 {
+		t.Errorf("defaults: %+v", p.Config())
+	}
+	if p.TargetID() != 0 || len(p.NonTargetIDs()) != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEvaluateAllShape(t *testing.T) {
+	_, eng := setup(t)
+	pool, _ := New(eng, 0, []int{1, 2, 3}, Config{Workers: 3, ThreadsPerWorker: 2})
+	seqs := candidates(11, 120, 1)
+	results := pool.EvaluateAll(seqs)
+	if len(results) != 11 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if len(r.NonTargetScores) != 3 {
+			t.Errorf("result %d has %d non-target scores", i, len(r.NonTargetScores))
+		}
+		if r.TargetScore < 0 || r.TargetScore > 1 {
+			t.Errorf("target score %f out of range", r.TargetScore)
+		}
+	}
+}
+
+func TestOnDemandMatchesSerialScores(t *testing.T) {
+	_, eng := setup(t)
+	nts := []int{4, 5, 6, 7}
+	pool, _ := New(eng, 2, nts, Config{Workers: 4, ThreadsPerWorker: 3})
+	seqs := candidates(6, 140, 2)
+	// Plant a motif so scores are non-trivial.
+	pr, _ := setup(t)
+	cm := pr.MasterMotif(pr.ComplementOf(pr.Motifs(2)[0]))
+	body := []byte(seqs[0].Residues())
+	copy(body[50:], cm.Residues())
+	seqs[0] = seq.MustNew("cand", string(body))
+
+	results := pool.EvaluateAll(seqs)
+	for i, s := range seqs {
+		wantTarget := eng.Score(s, 2, 1)
+		if results[i].TargetScore != wantTarget {
+			t.Errorf("candidate %d: pool target score %f != serial %f",
+				i, results[i].TargetScore, wantTarget)
+		}
+		for j, id := range nts {
+			if want := eng.Score(s, id, 1); results[i].NonTargetScores[j] != want {
+				t.Errorf("candidate %d non-target %d: %f != %f",
+					i, id, results[i].NonTargetScores[j], want)
+			}
+		}
+	}
+	if results[0].TargetScore < 0.4 {
+		t.Errorf("planted binder scored %f against its target", results[0].TargetScore)
+	}
+}
+
+func TestStaticMatchesOnDemandResults(t *testing.T) {
+	_, eng := setup(t)
+	pool, _ := New(eng, 1, []int{2, 3}, Config{Workers: 3, ThreadsPerWorker: 2})
+	seqs := candidates(9, 130, 3)
+	onDemand := pool.EvaluateAllReport(seqs)
+	static := pool.EvaluateAllStatic(seqs)
+	for i := range seqs {
+		if onDemand.Results[i].TargetScore != static.Results[i].TargetScore {
+			t.Errorf("candidate %d: dispatch modes disagree", i)
+		}
+	}
+}
+
+func TestReportInstrumentation(t *testing.T) {
+	_, eng := setup(t)
+	cfg := Config{Workers: 2, ThreadsPerWorker: 2}
+	pool, _ := New(eng, 0, []int{1, 2}, cfg)
+	seqs := candidates(8, 120, 4)
+	rep := pool.EvaluateAllReport(seqs)
+	if rep.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	if len(rep.WorkerBusy) != 2 || len(rep.TaskTimes) != 8 {
+		t.Fatalf("instrumentation shapes: %d workers, %d tasks",
+			len(rep.WorkerBusy), len(rep.TaskTimes))
+	}
+	var total, sum int64
+	for _, tt := range rep.TaskTimes {
+		if tt <= 0 {
+			t.Error("task time not recorded")
+		}
+		total += int64(tt)
+	}
+	for _, b := range rep.WorkerBusy {
+		sum += int64(b)
+	}
+	if total != sum {
+		t.Errorf("task times sum %d != worker busy sum %d", total, sum)
+	}
+	if rep.Makespan() <= 0 || int64(rep.Makespan()) > sum {
+		t.Errorf("makespan %v out of bounds", rep.Makespan())
+	}
+}
+
+func TestSingleWorkerSingleThread(t *testing.T) {
+	_, eng := setup(t)
+	pool, _ := New(eng, 0, []int{1}, Config{Workers: 1, ThreadsPerWorker: 1})
+	seqs := candidates(3, 110, 5)
+	results := pool.EvaluateAll(seqs)
+	if len(results) != 3 {
+		t.Fatal("wrong result count")
+	}
+}
+
+func TestEmptyNonTargets(t *testing.T) {
+	_, eng := setup(t)
+	pool, err := New(eng, 0, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := pool.EvaluateAll(candidates(2, 110, 6))
+	if len(results[0].NonTargetScores) != 0 {
+		t.Error("expected no non-target scores")
+	}
+}
+
+func TestEmptyCandidateList(t *testing.T) {
+	_, eng := setup(t)
+	pool, _ := New(eng, 0, []int{1}, Config{})
+	if res := pool.EvaluateAll(nil); len(res) != 0 {
+		t.Error("empty candidate list produced results")
+	}
+}

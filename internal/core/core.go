@@ -1,0 +1,261 @@
+// Package core is InSiPS itself: given a target protein and a set of
+// non-target proteins, it evolves a novel protein sequence whose PIPE
+// profile is "interacts with the target, interacts with nothing else".
+//
+// The fitness of a candidate sequence (paper Section 2.2) is
+//
+//	fitness(seq) = (1 - MAX(PIPE(seq, nt_1..nt_k))) * PIPE(seq, target)
+//
+// which peaks at 1 in the lower-right corner of the paper's Figure 2 heat
+// map: target score 1, every non-target score 0.
+//
+// The Designer couples the genetic algorithm (package ga) with the
+// master/worker PIPE evaluator (package cluster) and records the
+// learning curves of Figure 7: per generation, the fittest individual's
+// PIPE score against the target, its highest-scoring non-target and the
+// average non-target score.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// Fitness is the InSiPS fitness function. nonTargets may be empty, in
+// which case fitness equals the target score.
+func Fitness(targetScore float64, nonTargetScores []float64) float64 {
+	return (1 - MaxScore(nonTargetScores)) * targetScore
+}
+
+// MaxScore returns the maximum of scores, or 0 for an empty slice.
+func MaxScore(scores []float64) float64 {
+	max := 0.0
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MeanScore returns the mean of scores, or 0 for an empty slice.
+func MeanScore(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range scores {
+		total += s
+	}
+	return total / float64(len(scores))
+}
+
+// FitnessGrid samples the fitness surface on a res x res grid over
+// (PIPE(seq,target), MAX(PIPE(seq,non-targets))) in [0,1]^2 — the data
+// behind the paper's Figure 2 heat map. grid[i][j] is the fitness at
+// target score j/(res-1) and max non-target score i/(res-1).
+func FitnessGrid(res int) [][]float64 {
+	if res < 2 {
+		res = 2
+	}
+	grid := make([][]float64, res)
+	for i := range grid {
+		grid[i] = make([]float64, res)
+		maxNT := float64(i) / float64(res-1)
+		for j := range grid[i] {
+			target := float64(j) / float64(res-1)
+			grid[i][j] = (1 - maxNT) * target
+		}
+	}
+	return grid
+}
+
+// Detail holds the score decomposition of one candidate.
+type Detail struct {
+	Fitness      float64
+	Target       float64
+	MaxNonTarget float64
+	AvgNonTarget float64
+}
+
+// CurvePoint is one generation of a Figure 7 learning curve: the score
+// decomposition of that generation's fittest individual.
+type CurvePoint struct {
+	Generation int
+	Detail
+}
+
+// Problem specifies one design task over a PIPE engine.
+type Problem struct {
+	Engine       *pipe.Engine
+	TargetID     int
+	NonTargetIDs []int
+}
+
+// Options configures a design run.
+type Options struct {
+	GA          ga.Params
+	Cluster     cluster.Config
+	Termination ga.Termination
+	// OnGeneration, if non-nil, observes each generation's curve point as
+	// the run progresses.
+	OnGeneration func(CurvePoint)
+	// WarmStart seeds the initial population with chimeras spliced from
+	// random natural-protein fragments instead of uniform random
+	// sequences. The paper notes "any set of protein sequences can be
+	// used as a starting population" and that runs can "benefit from
+	// [the] starting pool containing a few very good sequences"; natural
+	// fragments carry real interaction motifs, giving the GA an immediate
+	// foothold at small population budgets.
+	WarmStart bool
+}
+
+// Result is the outcome of a design run.
+type Result struct {
+	// Best is the fittest sequence ever observed, with its decomposition.
+	Best       seq.Sequence
+	BestDetail Detail
+	// Curve has one point per generation (the fittest individual of that
+	// generation) — the paper's Figure 7 series.
+	Curve []CurvePoint
+	// Generations is the number of generations executed.
+	Generations int
+}
+
+// Designer runs InSiPS on one problem. Create with NewDesigner; a
+// Designer is single-use and not safe for concurrent use.
+type Designer struct {
+	problem Problem
+	opts    Options
+	pool    *cluster.Pool
+	engine  *ga.Engine
+
+	details []Detail // details of the current generation, by index
+}
+
+// NewDesigner validates the problem and wires the GA to the master/worker
+// evaluator.
+func NewDesigner(problem Problem, opts Options) (*Designer, error) {
+	if problem.Engine == nil {
+		return nil, fmt.Errorf("core: nil PIPE engine")
+	}
+	pool, err := cluster.New(problem.Engine, problem.TargetID, problem.NonTargetIDs, opts.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	d := &Designer{problem: problem, opts: opts, pool: pool}
+	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
+	if err != nil {
+		return nil, err
+	}
+	d.engine = gaEngine
+	return d, nil
+}
+
+// evaluateAll is the GA's fitness callback: it runs the master/worker
+// evaluation (Algorithm 1's dispatch loop) and converts PIPE scores to
+// fitness, stashing the decomposition for curve recording.
+func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
+	results := d.pool.EvaluateAll(seqs)
+	fits := make([]float64, len(seqs))
+	d.details = make([]Detail, len(seqs))
+	for i, r := range results {
+		det := Detail{
+			Target:       r.TargetScore,
+			MaxNonTarget: MaxScore(r.NonTargetScores),
+			AvgNonTarget: MeanScore(r.NonTargetScores),
+		}
+		det.Fitness = Fitness(r.TargetScore, r.NonTargetScores)
+		d.details[i] = det
+		fits[i] = det.Fitness
+	}
+	return fits
+}
+
+// NaturalFragmentPopulation builds n chimeric sequences of the given
+// length by splicing random fragments of natural proteome proteins —
+// the warm-start initial population.
+func NaturalFragmentPopulation(engine *pipe.Engine, rng *rand.Rand, n, length int) []seq.Sequence {
+	ix := engine.Index()
+	out := make([]seq.Sequence, n)
+	for i := range out {
+		var body []byte
+		for len(body) < length {
+			p := ix.Protein(rng.Intn(ix.NumProteins()))
+			fragLen := length/3 + rng.Intn(length/3+1)
+			if fragLen > p.Len() {
+				fragLen = p.Len()
+			}
+			start := rng.Intn(p.Len() - fragLen + 1)
+			body = append(body, p.Residues()[start:start+fragLen]...)
+		}
+		sq, err := seq.New(fmt.Sprintf("chimera%04d", i), string(body[:length]))
+		if err != nil {
+			// Natural residues are always valid; defensive only.
+			panic(err)
+		}
+		out[i] = sq
+	}
+	return out
+}
+
+// Run executes the design loop to termination and returns the result.
+func (d *Designer) Run() (Result, error) {
+	if d.details != nil {
+		return Result{}, fmt.Errorf("core: Designer is single-use")
+	}
+	var (
+		curve      []CurvePoint
+		bestDetail Detail
+		bestSeq    seq.Sequence
+	)
+	if d.opts.WarmStart {
+		rng := rand.New(rand.NewSource(d.opts.GA.Seed))
+		pop := NaturalFragmentPopulation(d.problem.Engine, rng,
+			d.opts.GA.PopulationSize, d.opts.GA.SeqLen)
+		if err := d.engine.SetPopulation(pop); err != nil {
+			return Result{}, err
+		}
+	} else {
+		d.engine.InitPopulation()
+	}
+	history := d.engine.Run(d.opts.Termination, func(st ga.Stats) {
+		// Locate the generation's fittest individual's decomposition.
+		bestIdx := 0
+		for i, det := range d.details {
+			if det.Fitness > d.details[bestIdx].Fitness {
+				bestIdx = i
+			}
+		}
+		cp := CurvePoint{Generation: st.Generation, Detail: d.details[bestIdx]}
+		curve = append(curve, cp)
+		if st.NewBestFound {
+			bestDetail = d.details[bestIdx]
+			bestSeq = st.BestEverSeq
+		}
+		if d.opts.OnGeneration != nil {
+			d.opts.OnGeneration(cp)
+		}
+	})
+	return Result{
+		Best:        bestSeq,
+		BestDetail:  bestDetail,
+		Curve:       curve,
+		Generations: len(history),
+	}, nil
+}
+
+// Design is the one-call convenience API: evolve an inhibitor for
+// targetID avoiding nonTargetIDs.
+func Design(engine *pipe.Engine, targetID int, nonTargetIDs []int, opts Options) (Result, error) {
+	d, err := NewDesigner(Problem{Engine: engine, TargetID: targetID, NonTargetIDs: nonTargetIDs}, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return d.Run()
+}

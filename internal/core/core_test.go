@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/yeastgen"
+)
+
+var (
+	once   sync.Once
+	prot   *yeastgen.Proteome
+	engine *pipe.Engine
+)
+
+func setup(t testing.TB) (*yeastgen.Proteome, *pipe.Engine) {
+	once.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		prot, engine = pr, eng
+	})
+	return prot, engine
+}
+
+func TestFitnessFormula(t *testing.T) {
+	cases := []struct {
+		target float64
+		nts    []float64
+		want   float64
+	}{
+		{1, nil, 1},
+		{0.5, nil, 0.5},
+		{1, []float64{0}, 1},
+		{1, []float64{1}, 0},
+		{0.8, []float64{0.2, 0.5}, (1 - 0.5) * 0.8},
+		{0, []float64{0.3}, 0},
+	}
+	for i, c := range cases {
+		if got := Fitness(c.target, c.nts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Fitness = %f, want %f", i, got, c.want)
+		}
+	}
+}
+
+func TestFitnessProperties(t *testing.T) {
+	// fitness in [0,1]; monotone increasing in target, decreasing in max
+	// non-target.
+	f := func(traw, n1raw, n2raw uint16) bool {
+		target := float64(traw) / 65535
+		n1 := float64(n1raw) / 65535
+		n2 := float64(n2raw) / 65535
+		fit := Fitness(target, []float64{n1, n2})
+		if fit < 0 || fit > 1 {
+			return false
+		}
+		// Increasing target cannot decrease fitness.
+		if Fitness(minf(target+0.1, 1), []float64{n1, n2}) < fit-1e-12 {
+			return false
+		}
+		// Increasing a non-target cannot increase fitness.
+		if Fitness(target, []float64{minf(n1+0.1, 1), n2}) > fit+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMaxAndMeanScore(t *testing.T) {
+	if MaxScore(nil) != 0 || MeanScore(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+	if MaxScore([]float64{0.2, 0.7, 0.4}) != 0.7 {
+		t.Error("MaxScore wrong")
+	}
+	if got := MeanScore([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MeanScore = %f", got)
+	}
+}
+
+func TestFitnessGrid(t *testing.T) {
+	grid := FitnessGrid(11)
+	if len(grid) != 11 || len(grid[0]) != 11 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	// Corners of Figure 2.
+	if grid[0][10] != 1 { // maxNT=0, target=1
+		t.Errorf("peak = %f, want 1", grid[0][10])
+	}
+	if grid[10][10] != 0 || grid[0][0] != 0 || grid[10][0] != 0 {
+		t.Error("zero corners wrong")
+	}
+	// Monotone: increasing target raises fitness at fixed maxNT.
+	for i := 0; i < 11; i++ {
+		for j := 1; j < 11; j++ {
+			if grid[i][j] < grid[i][j-1] {
+				t.Fatalf("grid not monotone in target at (%d,%d)", i, j)
+			}
+		}
+	}
+	if g := FitnessGrid(0); len(g) != 2 {
+		t.Error("degenerate resolution not clamped")
+	}
+}
+
+func designOpts(pop, gens int, seed int64) Options {
+	gp := ga.DefaultParams()
+	gp.PopulationSize = pop
+	gp.SeqLen = 120
+	gp.Seed = seed
+	return Options{
+		GA:          gp,
+		Cluster:     cluster.Config{Workers: 2, ThreadsPerWorker: 2},
+		Termination: ga.Termination{MaxGenerations: gens},
+	}
+}
+
+func TestNewDesignerValidation(t *testing.T) {
+	_, eng := setup(t)
+	if _, err := NewDesigner(Problem{}, designOpts(10, 2, 1)); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewDesigner(Problem{Engine: eng, TargetID: -1}, designOpts(10, 2, 1)); err == nil {
+		t.Error("bad target accepted")
+	}
+	bad := designOpts(1, 2, 1) // population too small
+	if _, err := NewDesigner(Problem{Engine: eng, TargetID: 0}, bad); err == nil {
+		t.Error("bad GA params accepted")
+	}
+}
+
+func TestDesignRunShape(t *testing.T) {
+	pr, eng := setup(t)
+	var nts []int
+	for _, id := range pr.ComponentMembers(pr.Component(0)) {
+		if id != 0 && len(nts) < 5 {
+			nts = append(nts, id)
+		}
+	}
+	calls := 0
+	opts := designOpts(20, 6, 42)
+	opts.OnGeneration = func(cp CurvePoint) { calls++ }
+	res, err := Design(eng, 0, nts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 6 || len(res.Curve) != 6 || calls != 6 {
+		t.Fatalf("generations %d, curve %d, callbacks %d", res.Generations, len(res.Curve), calls)
+	}
+	for g, cp := range res.Curve {
+		if cp.Generation != g {
+			t.Errorf("curve point %d has generation %d", g, cp.Generation)
+		}
+		if cp.Fitness < 0 || cp.Fitness > 1 {
+			t.Errorf("fitness %f out of range", cp.Fitness)
+		}
+		wantFit := (1 - cp.MaxNonTarget) * cp.Target
+		if math.Abs(cp.Fitness-wantFit) > 1e-9 {
+			t.Errorf("curve point %d: fitness %f != decomposition %f", g, cp.Fitness, wantFit)
+		}
+		if cp.AvgNonTarget > cp.MaxNonTarget {
+			t.Errorf("avg non-target %f > max %f", cp.AvgNonTarget, cp.MaxNonTarget)
+		}
+	}
+	if res.Best.Len() != 120 {
+		t.Errorf("best sequence length %d", res.Best.Len())
+	}
+}
+
+func TestDesignerSingleUse(t *testing.T) {
+	_, eng := setup(t)
+	d, err := NewDesigner(Problem{Engine: eng, TargetID: 0}, designOpts(10, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestDesignDeterministicUnderSeed(t *testing.T) {
+	pr, eng := setup(t)
+	nts := []int{1, 2, 3}
+	run := func() Result {
+		res, err := Design(eng, 5, nts, designOpts(15, 4, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for g := range a.Curve {
+		if a.Curve[g].Fitness != b.Curve[g].Fitness {
+			t.Fatalf("gen %d: %f vs %f", g, a.Curve[g].Fitness, b.Curve[g].Fitness)
+		}
+	}
+	if a.Best.Residues() != b.Best.Residues() {
+		t.Error("best sequences differ under same seed")
+	}
+	_ = pr
+}
+
+// TestDesignImproves is the package's core behavioural test: the GA must
+// lift fitness well above the random baseline within a modest budget.
+func TestDesignImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA improvement run skipped in -short mode")
+	}
+	pr, eng := setup(t)
+	// Rare-motif target (the paper's candidate-selection criterion favors
+	// targets whose design problem is well-posed).
+	carriers := map[int]int{}
+	for i := range pr.Proteins {
+		for _, m := range pr.Motifs(i) {
+			carriers[m]++
+		}
+	}
+	target := -1
+	bestCar := 1 << 30
+	for i := range pr.Proteins {
+		ms := pr.Motifs(i)
+		if len(ms) != 1 {
+			continue
+		}
+		if carriers[pr.ComplementOf(ms[0])] < 4 {
+			continue
+		}
+		if carriers[ms[0]] < bestCar {
+			bestCar, target = carriers[ms[0]], i
+		}
+	}
+	if target < 0 {
+		t.Skip("no suitable rare-motif target in test proteome")
+	}
+	var nts []int
+	for _, id := range pr.ComponentMembers(pr.Component(target)) {
+		if id != target && len(nts) < 8 {
+			nts = append(nts, id)
+		}
+	}
+	opts := designOpts(80, 120, 3)
+	opts.GA.SeqLen = 130
+	opts.WarmStart = true
+	res, err := Design(eng, target, nts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestDetail.Fitness < 0.15 {
+		t.Errorf("design fitness %.3f did not improve above baseline", res.BestDetail.Fitness)
+	}
+	if res.BestDetail.Target <= res.BestDetail.MaxNonTarget {
+		t.Errorf("design is not specific: target %.3f <= max non-target %.3f",
+			res.BestDetail.Target, res.BestDetail.MaxNonTarget)
+	}
+}

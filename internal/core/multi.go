@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// Multi-target design is the paper's stated future direction ("designing
+// inhibitory proteins to obstruct the spread of certain viruses"): a
+// single synthetic protein that binds *every* protein in a target set —
+// e.g. the variant surface proteins of a virus — while avoiding the
+// non-targets. The fitness generalizes the single-target formula with
+// the weakest target link as the bottleneck:
+//
+//	fitness(seq) = (1 - MAX(PIPE(seq, nts))) * MIN_t(PIPE(seq, t))
+
+// MultiFitness computes the multi-target fitness. An empty target set
+// scores 0 (there is nothing to bind).
+func MultiFitness(targetScores, nonTargetScores []float64) float64 {
+	if len(targetScores) == 0 {
+		return 0
+	}
+	min := targetScores[0]
+	for _, s := range targetScores[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return (1 - MaxScore(nonTargetScores)) * min
+}
+
+// MultiDetail decomposes a multi-target candidate's scores.
+type MultiDetail struct {
+	Fitness      float64
+	TargetScores []float64
+	MinTarget    float64
+	MaxNonTarget float64
+	AvgNonTarget float64
+}
+
+// MultiResult is the outcome of a multi-target design run.
+type MultiResult struct {
+	Best        seq.Sequence
+	BestDetail  MultiDetail
+	Generations int
+}
+
+// DesignMulti evolves one sequence predicted to bind every target in
+// targetIDs while avoiding nonTargetIDs. It reuses the master/worker
+// pool by treating the extra targets as leading entries of the
+// non-target list on the wire and re-splitting scores in the fitness
+// callback.
+func DesignMulti(engine *pipe.Engine, targetIDs, nonTargetIDs []int, opts Options) (MultiResult, error) {
+	if engine == nil {
+		return MultiResult{}, fmt.Errorf("core: nil PIPE engine")
+	}
+	if len(targetIDs) == 0 {
+		return MultiResult{}, fmt.Errorf("core: empty target set")
+	}
+	for _, t := range targetIDs {
+		for _, nt := range nonTargetIDs {
+			if t == nt {
+				return MultiResult{}, fmt.Errorf("core: protein %d is both target and non-target", t)
+			}
+		}
+	}
+	// Wire layout: pool target = targetIDs[0]; pool non-targets =
+	// targetIDs[1:] ++ nonTargetIDs.
+	wireNTs := append(append([]int(nil), targetIDs[1:]...), nonTargetIDs...)
+	pool, err := cluster.New(engine, targetIDs[0], wireNTs, opts.Cluster)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	extraTargets := len(targetIDs) - 1
+
+	var details []MultiDetail
+	eval := ga.EvaluatorFunc(func(seqs []seq.Sequence) []float64 {
+		results := pool.EvaluateAll(seqs)
+		fits := make([]float64, len(seqs))
+		details = make([]MultiDetail, len(seqs))
+		for i, r := range results {
+			targets := append([]float64{r.TargetScore}, r.NonTargetScores[:extraTargets]...)
+			nts := r.NonTargetScores[extraTargets:]
+			det := MultiDetail{
+				TargetScores: targets,
+				MaxNonTarget: MaxScore(nts),
+				AvgNonTarget: MeanScore(nts),
+			}
+			det.Fitness = MultiFitness(targets, nts)
+			det.MinTarget = det.Fitness
+			if det.Fitness > 0 || len(targets) > 0 {
+				min := targets[0]
+				for _, s := range targets[1:] {
+					if s < min {
+						min = s
+					}
+				}
+				det.MinTarget = min
+			}
+			details[i] = det
+			fits[i] = det.Fitness
+		}
+		return fits
+	})
+
+	gaEngine, err := ga.New(opts.GA, eval)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	if opts.WarmStart {
+		rng := rand.New(rand.NewSource(opts.GA.Seed))
+		pop := NaturalFragmentPopulation(engine, rng, opts.GA.PopulationSize, opts.GA.SeqLen)
+		if err := gaEngine.SetPopulation(pop); err != nil {
+			return MultiResult{}, err
+		}
+	} else {
+		gaEngine.InitPopulation()
+	}
+
+	var (
+		bestSeq    seq.Sequence
+		bestDetail MultiDetail
+	)
+	history := gaEngine.Run(opts.Termination, func(st ga.Stats) {
+		if !st.NewBestFound {
+			return
+		}
+		bestIdx := 0
+		for i := range details {
+			if details[i].Fitness > details[bestIdx].Fitness {
+				bestIdx = i
+			}
+		}
+		bestSeq = st.BestEverSeq
+		bestDetail = details[bestIdx]
+	})
+	return MultiResult{
+		Best:        bestSeq,
+		BestDetail:  bestDetail,
+		Generations: len(history),
+	}, nil
+}

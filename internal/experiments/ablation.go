@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pipe"
+	"repro/internal/simindex"
+	"repro/internal/stats"
+	"repro/internal/submat"
+)
+
+// Ablations quantifies the design choices DESIGN.md §6 calls out, by
+// *accuracy* rather than speed (the speed side lives in bench_test.go):
+// for each engine variant, the separation between known interacting
+// pairs and true negatives — median positive score, 99th-percentile
+// negative score, and the margin between them. The paper's choices
+// (PAM120, box filter on) should hold the widest margins.
+//
+// This exhibit is not part of the paper; run it with
+// `cmd/experiments -run ablations`.
+func (e *Env) Ablations() error {
+	pr, _, err := e.Setup()
+	if err != nil {
+		return err
+	}
+
+	// Shared evaluation pair sets.
+	r := rng(777)
+	var edges [][2]int
+	pr.Graph.Edges(func(a, b int) bool {
+		edges = append(edges, [2]int{a, b})
+		return true
+	})
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	nPos, nNeg := 60, 150
+	if e.Quick {
+		nPos, nNeg = 25, 60
+	}
+	if nPos > len(edges) {
+		nPos = len(edges)
+	}
+	comp := func(a, b int) bool {
+		for _, ma := range pr.Motifs(a) {
+			for _, mb := range pr.Motifs(b) {
+				if pr.ComplementOf(ma) == mb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var negPairs [][2]int
+	for len(negPairs) < nNeg {
+		a, b := r.Intn(len(pr.Proteins)), r.Intn(len(pr.Proteins))
+		if a == b || pr.Graph.HasEdge(a, b) || comp(a, b) {
+			continue
+		}
+		negPairs = append(negPairs, [2]int{a, b})
+	}
+
+	variants := []struct {
+		name string
+		cfg  pipe.Config
+	}{
+		{"PAM120 + filter (paper)", pipe.Config{}},
+		{"BLOSUM62", pipe.Config{Index: simindex.Config{Matrix: submat.BLOSUM62()}}},
+		{"no box filter", pipe.Config{Unfiltered: true}},
+		{"no evidence gates", pipe.Config{MinOcc: -1, MinEvidence: -1}},
+	}
+
+	e.printf("Ablations: positive/negative separation per engine variant\n")
+	tab := stats.NewTable("variant", "pos median", "neg p99", "margin")
+	var report string
+	for _, v := range variants {
+		cfg := v.cfg
+		if cfg.MinOcc == -1 {
+			cfg.MinOcc = 1 // effectively off (every hit has occ >= 1)
+		}
+		if cfg.MinEvidence == -1 {
+			cfg.MinEvidence = 1
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, cfg, 0)
+		if err != nil {
+			return fmt.Errorf("ablations: %s: %w", v.name, err)
+		}
+		var pos, neg []float64
+		for _, ed := range edges[:nPos] {
+			pos = append(pos, eng.ScorePair(ed[0], ed[1]))
+		}
+		for _, ed := range negPairs {
+			neg = append(neg, eng.ScorePair(ed[0], ed[1]))
+		}
+		sort.Float64s(pos)
+		sort.Float64s(neg)
+		posMed := pos[len(pos)/2]
+		negP99 := neg[len(neg)*99/100]
+		margin := posMed - negP99
+		tab.AddRow(v.name,
+			fmt.Sprintf("%.3f", posMed),
+			fmt.Sprintf("%.3f", negP99),
+			fmt.Sprintf("%+.3f", margin))
+		report += fmt.Sprintf("%s\t%.4f\t%.4f\t%.4f\n", v.name, posMed, negP99, margin)
+	}
+	e.printf("%s", tab.String())
+	e.printf("(margin = median positive - p99 negative; the paper's configuration\n")
+	e.printf("should be at or near the top)\n\n")
+	return e.saveData("ablations_separation.dat", report)
+}

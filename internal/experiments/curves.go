@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/stats"
+)
+
+// design runs (and caches) the production InSiPS campaign for wet-lab
+// target k, using the paper's Section 4.2 parameters scaled to this
+// machine: p_crossover=0.5, p_mutate=0.4, p_copy=0.1, p_mutate_aa=0.05,
+// then run until no new best for 50 generations (with a hard cap).
+func (e *Env) design(k int) (core.Result, error) {
+	e.mu.Lock()
+	if res, ok := e.designs[k]; ok {
+		e.mu.Unlock()
+		return res, nil
+	}
+	e.mu.Unlock()
+
+	pr, eng, err := e.Setup()
+	if err != nil {
+		return core.Result{}, err
+	}
+	target := pr.WetlabTargetIDs()[k]
+	pop, minGens, maxGens, ntsMax := 120, 80, 160, 15
+	if e.Quick {
+		pop, minGens, maxGens, ntsMax = 40, 20, 40, 8
+	}
+	gp := ga.DefaultParams()
+	gp.PopulationSize = pop
+	gp.SeqLen = 130
+	gp.Seed = int64(31 + k)
+	res, err := core.Design(eng, target, e.nonTargetsFor(target, ntsMax), core.Options{
+		GA:        gp,
+		WarmStart: true,
+		Cluster:   cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+		Termination: ga.Termination{
+			MinGenerations:   minGens,
+			StallGenerations: 50,
+			MaxGenerations:   maxGens,
+		},
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.designs[k] = res
+	e.mu.Unlock()
+	return res, nil
+}
+
+// Fig7 regenerates the learning curves of the paper's Figure 7: for each
+// of the three wet-lab candidates, the per-generation PIPE score of the
+// fittest sequence against the target (solid), the highest-scoring
+// non-target (dashed) and the average non-target (dotted), plus the PIPE
+// acceptance threshold (<0.5% false positives on non-interacting pairs).
+func (e *Env) Fig7() error {
+	pr, eng, err := e.Setup()
+	if err != nil {
+		return err
+	}
+
+	// Acceptance threshold from sampled non-interacting pairs.
+	threshold := e.acceptanceThreshold(eng)
+
+	e.printf("Figure 7: learning curves of the wet-lab candidates\n")
+	e.printf("PIPE acceptance threshold (<0.5%% FP): %.3f\n", threshold)
+
+	var buf []byte
+	targets := pr.WetlabTargetIDs()
+	for k := range targets {
+		res, err := e.design(k)
+		if err != nil {
+			return err
+		}
+		name := pr.Proteins[targets[k]].Name()
+		var tgt, maxNT, avgNT []float64
+		sTgt := stats.Series{Name: name + " target"}
+		sMax := stats.Series{Name: name + " max non-target"}
+		sAvg := stats.Series{Name: name + " avg non-target"}
+		for _, cp := range res.Curve {
+			tgt = append(tgt, cp.Target)
+			maxNT = append(maxNT, cp.MaxNonTarget)
+			avgNT = append(avgNT, cp.AvgNonTarget)
+			sTgt.Add(float64(cp.Generation), cp.Target)
+			sMax.Add(float64(cp.Generation), cp.MaxNonTarget)
+			sAvg.Add(float64(cp.Generation), cp.AvgNonTarget)
+		}
+		e.printf("\nanti-%s (%d generations, final fitness %.4f):\n", name, res.Generations, res.BestDetail.Fitness)
+		e.printf("  target       %s %.3f\n", stats.Sparkline(decimate(tgt, 40)), last(tgt))
+		e.printf("  max non-tgt  %s %.3f\n", stats.Sparkline(decimate(maxNT, 40)), last(maxNT))
+		e.printf("  avg non-tgt  %s %.3f\n", stats.Sparkline(decimate(avgNT, 40)), last(avgNT))
+
+		// Shape checks (paper: the target curve ends well above the
+		// acceptance threshold; non-target scores stay below the target).
+		if res.BestDetail.Target <= threshold {
+			return fmt.Errorf("fig7: anti-%s target score %.3f below acceptance threshold %.3f",
+				name, res.BestDetail.Target, threshold)
+		}
+		if res.BestDetail.MaxNonTarget >= res.BestDetail.Target {
+			return fmt.Errorf("fig7: anti-%s not specific (maxNT %.3f >= target %.3f)",
+				name, res.BestDetail.MaxNonTarget, res.BestDetail.Target)
+		}
+		buf = appendSeries(buf, sTgt)
+		buf = appendSeries(buf, sMax)
+		buf = appendSeries(buf, sAvg)
+	}
+	e.printf("\npaper: target scores converge to 0.63-0.72, max non-target 0.35-0.40,\n")
+	e.printf("both separations clearly above/below the acceptance threshold\n\n")
+	thresholdSeries := stats.Series{Name: "acceptance threshold"}
+	thresholdSeries.Add(0, threshold)
+	thresholdSeries.Add(float64(maxCurveLen(e)), threshold)
+	buf = appendSeries(buf, thresholdSeries)
+	return e.saveData("fig7_learning_curves.dat", string(buf))
+}
+
+// acceptanceThreshold estimates the PIPE score exceeded by at most 0.5%
+// of non-interacting protein pairs (the black line of Figure 7).
+func (e *Env) acceptanceThreshold(eng *pipe.Engine) float64 {
+	pr := e.proteome
+	r := rng(4242)
+	samples := 400
+	if e.Quick {
+		samples = 120
+	}
+	var neg []float64
+	for len(neg) < samples {
+		a, b := r.Intn(len(pr.Proteins)), r.Intn(len(pr.Proteins))
+		if a == b || pr.Graph.HasEdge(a, b) {
+			continue
+		}
+		neg = append(neg, eng.ScorePair(a, b))
+	}
+	return pipe.AcceptanceThreshold(neg, 0.005)
+}
+
+func maxCurveLen(e *Env) int {
+	n := 0
+	for _, res := range e.designs {
+		if len(res.Curve) > n {
+			n = len(res.Curve)
+		}
+	}
+	return n
+}
+
+// decimate reduces xs to at most n points for terminal sparklines.
+func decimate(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = xs[i*(len(xs)-1)/(n-1)]
+	}
+	return out
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig2 regenerates the fitness-function heat map (paper Figure 2):
+// fitness(seq) over the (PIPE(seq,target), MAX(PIPE(seq,non-targets)))
+// plane. The data file holds the full grid; the console output shows a
+// coarse character rendering with the peak in the lower-right corner.
+func (e *Env) Fig2() error {
+	res := 101
+	if e.Quick {
+		res = 21
+	}
+	grid := core.FitnessGrid(res)
+
+	var data strings.Builder
+	data.WriteString("# fig2: x=PIPE(seq,target) y=MAX(PIPE(seq,non-targets)) z=fitness\n")
+	for i := range grid {
+		for j := range grid[i] {
+			fmt.Fprintf(&data, "%.3f\t%.3f\t%.4f\n",
+				float64(j)/float64(res-1), float64(i)/float64(res-1), grid[i][j])
+		}
+		data.WriteString("\n")
+	}
+	if err := e.saveData("fig2_heatmap.dat", data.String()); err != nil {
+		return err
+	}
+
+	e.printf("Figure 2: InSiPS fitness heat map (%dx%d grid)\n", res, res)
+	e.printf("rows: MAX(PIPE(seq,non-targets)) 1.0 -> 0.0; cols: PIPE(seq,target) 0.0 -> 1.0\n")
+	const preview = 11
+	for r := 0; r < preview; r++ {
+		i := (preview - 1 - r) * (res - 1) / (preview - 1) // flip: maxNT=1 on top
+		row := make([]float64, preview)
+		for c := 0; c < preview; c++ {
+			row[c] = grid[i][c*(res-1)/(preview-1)]
+		}
+		e.printf("maxNT=%.1f %s\n", float64(i)/float64(res-1), stats.Sparkline(row))
+	}
+	peak := grid[0][res-1]
+	e.printf("peak fitness %.2f at (target=1, maxNT=0) — matches the paper's yellow corner\n\n", peak)
+	if peak != 1 {
+		return fmt.Errorf("fig2: peak fitness %f, want 1", peak)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/wetlab"
+)
+
+// wetlabExperiment assembles the conditional-sensitivity assay for
+// wet-lab target k: design the inhibitor (cached across exhibits), then
+// expose the four strains to the stressor.
+func (e *Env) wetlabExperiment(k int, stressor wetlab.Stressor) (wetlab.Experiment, error) {
+	pr, _, err := e.Setup()
+	if err != nil {
+		return wetlab.Experiment{}, err
+	}
+	design, err := e.design(k)
+	if err != nil {
+		return wetlab.Experiment{}, err
+	}
+	return wetlab.Experiment{
+		Proteome:  pr,
+		TargetID:  pr.WetlabTargetIDs()[k],
+		Inhibitor: design.Best,
+		Stressor:  stressor,
+		Seed:      int64(500 + k),
+	}, nil
+}
+
+// paperTable4 holds the paper's Table 4 averages for reference output.
+var paperTable4 = map[wetlab.Strain]float64{
+	wetlab.WT: 0.90, wetlab.WTPlasmid: 0.91, wetlab.WTInSiPS: 0.56, wetlab.Knockout: 0.27,
+}
+
+// paperTable5 holds the paper's Table 5 averages.
+var paperTable5 = map[wetlab.Strain]float64{
+	wetlab.WT: 0.55, wetlab.WTPlasmid: 0.54, wetlab.WTInSiPS: 0.14, wetlab.Knockout: 0.10,
+}
+
+// colonyTable renders a wetlab.Table like the paper's Tables 4 and 5.
+func (e *Env) colonyTable(no int, title string, t wetlab.Table, paper map[wetlab.Strain]float64) (string, error) {
+	tab := stats.NewTable("Run", "WT", "WT+", "WT+InSiPS", "knockout")
+	for r, row := range t.Rows {
+		tab.AddRow(fmt.Sprintf("%d", r+1),
+			fmt.Sprintf("%.0f%%", row[wetlab.WT]*100),
+			fmt.Sprintf("%.0f%%", row[wetlab.WTPlasmid]*100),
+			fmt.Sprintf("%.0f%%", row[wetlab.WTInSiPS]*100),
+			fmt.Sprintf("%.0f%%", row[wetlab.Knockout]*100))
+	}
+	avg := t.Averages()
+	tab.AddRow("Avg.",
+		fmt.Sprintf("%.0f%%", avg[wetlab.WT]*100),
+		fmt.Sprintf("%.0f%%", avg[wetlab.WTPlasmid]*100),
+		fmt.Sprintf("%.0f%%", avg[wetlab.WTInSiPS]*100),
+		fmt.Sprintf("%.0f%%", avg[wetlab.Knockout]*100))
+	tab.AddRow("paper",
+		fmt.Sprintf("%.0f%%", paper[wetlab.WT]*100),
+		fmt.Sprintf("%.0f%%", paper[wetlab.WTPlasmid]*100),
+		fmt.Sprintf("%.0f%%", paper[wetlab.WTInSiPS]*100),
+		fmt.Sprintf("%.0f%%", paper[wetlab.Knockout]*100))
+
+	e.printf("Table %d: %s\n%s", no, title, tab.String())
+	ok := t.InhibitionObserved(0.08)
+	e.printf("inhibition observed (WT ~= WT+ >> WT+InSiPS >= knockout): %v\n\n", ok)
+	if !ok {
+		return "", fmt.Errorf("table %d: inhibition ordering not reproduced", no)
+	}
+	return tab.String(), nil
+}
+
+// Table4 regenerates the paper's Table 4: colony counts of the four
+// strains after 65 ng/mL cycloheximide, target YBL051C (PIN4).
+func (e *Env) Table4() error {
+	exp, err := e.wetlabExperiment(0, wetlab.Cycloheximide65())
+	if err != nil {
+		return err
+	}
+	rendered, err := e.colonyTable(4,
+		"anti-YBL051C vs cycloheximide 65 ng/mL (5 runs)", exp.Run(5), paperTable4)
+	if err != nil {
+		return err
+	}
+	return e.saveData("table4_cycloheximide.txt", rendered)
+}
+
+// Table5 regenerates the paper's Table 5: colony counts after 30 s of
+// UV, target YAL017W (PSK1).
+func (e *Env) Table5() error {
+	exp, err := e.wetlabExperiment(1, wetlab.UV30s())
+	if err != nil {
+		return err
+	}
+	rendered, err := e.colonyTable(5,
+		"anti-YAL017W vs UV 30 s (5 runs)", exp.Run(5), paperTable5)
+	if err != nil {
+		return err
+	}
+	return e.saveData("table5_uv.txt", rendered)
+}
+
+// barChart renders per-strain averages with stddev whiskers — the
+// paper's Figures 8 and 9.
+func (e *Env) barChart(figNo int, title string, t wetlab.Table) error {
+	avg, sd := t.Averages(), t.StdDevs()
+	e.printf("Figure %d: %s\n", figNo, title)
+	labels := []string{"WT", "WT+", "WT+InSiPS", "knockout"}
+	var data string
+	for s := wetlab.WT; s < wetlab.NumStrains; s++ {
+		barLen := int(avg[s]*40 + 0.5)
+		bar := ""
+		for i := 0; i < barLen; i++ {
+			bar += "█"
+		}
+		e.printf("%-10s %s %.0f%% ±%.1f%%\n", labels[s], bar, avg[s]*100, sd[s]*100)
+		data += fmt.Sprintf("%s\t%.4f\t%.4f\n", labels[s], avg[s], sd[s])
+	}
+	e.printf("\n")
+	return e.saveData(fmt.Sprintf("fig%d_colony_bars.dat", figNo), data)
+}
+
+// Fig8 regenerates the paper's Figure 8 (bar chart of Table 4).
+func (e *Env) Fig8() error {
+	exp, err := e.wetlabExperiment(0, wetlab.Cycloheximide65())
+	if err != nil {
+		return err
+	}
+	return e.barChart(8, "average colony counts, anti-YBL051C vs cycloheximide", exp.Run(5))
+}
+
+// Fig9 regenerates the paper's Figure 9 (bar chart of Table 5).
+func (e *Env) Fig9() error {
+	exp, err := e.wetlabExperiment(1, wetlab.UV30s())
+	if err != nil {
+		return err
+	}
+	return e.barChart(9, "average colony counts, anti-YAL017W vs UV", exp.Run(5))
+}
+
+// Fig10 regenerates the paper's Figure 10: the spot test — a 10x
+// dilution series of the four strains grown after UV exposure.
+func (e *Env) Fig10() error {
+	exp, err := e.wetlabExperiment(1, wetlab.UV30s())
+	if err != nil {
+		return err
+	}
+	spots := exp.SpotTest(4)
+	art := wetlab.RenderSpotTest(spots)
+	e.printf("Figure 10: spot test, anti-YAL017W strain vs UV 30 s\n%s", art)
+	e.printf("paper: decreased growth in columns 3 and 4 — the InSiPS strain fades like the knockout\n\n")
+	// Shape check: at the deepest dilution the InSiPS spot is fainter
+	// than both controls.
+	deep := spots[len(spots)-1]
+	if deep[wetlab.WTInSiPS] >= deep[wetlab.WT] || deep[wetlab.WTInSiPS] >= deep[wetlab.WTPlasmid] {
+		return fmt.Errorf("fig10: InSiPS spot not fainter than controls at 10^-%d", len(spots))
+	}
+	return e.saveData("fig10_spot_test.txt", art)
+}

@@ -1,0 +1,187 @@
+// Package island implements the paper's multi-rack scaling plan (Section
+// 3.2): "To scale to multiple racks, we would set one master process per
+// rack and sync between masters after each round of the genetic
+// algorithm. Since each master's state information is small and the
+// number of racks would also be relatively small (less than 100), the
+// synchronization overhead would be small."
+//
+// Each rack becomes an island: an independent genetic-algorithm engine
+// with its own seed and its own master/worker evaluator. After every
+// SyncInterval generations the masters synchronize: each island
+// broadcasts its best Migrants individuals, and every island replaces
+// its worst individuals with the immigrants from its ring neighbor.
+// Periodic migration preserves diversity between syncs while still
+// spreading good solutions — the standard island-model trade-off the
+// paper's sketch implies.
+package island
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/seq"
+)
+
+// Config sizes the multi-master run.
+type Config struct {
+	// Islands is the number of racks/masters. Default 4.
+	Islands int
+	// SyncInterval is the number of generations between master syncs.
+	// The paper syncs "after each round"; 1 reproduces that. Default 1.
+	SyncInterval int
+	// Migrants is how many of an island's best individuals are broadcast
+	// at each sync. Default 2.
+	Migrants int
+	// Generations is the total number of generations per island.
+	Generations int
+	// Cluster sizes each island's own worker pool.
+	Cluster cluster.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Islands == 0 {
+		c.Islands = 4
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 1
+	}
+	if c.Migrants == 0 {
+		c.Migrants = 2
+	}
+	if c.Generations == 0 {
+		c.Generations = 50
+	}
+	return c
+}
+
+func (c Config) validate(gaParams ga.Params) error {
+	if c.Islands < 2 {
+		return fmt.Errorf("island: need at least 2 islands, got %d", c.Islands)
+	}
+	if c.Migrants >= gaParams.PopulationSize {
+		return fmt.Errorf("island: %d migrants exceed population %d",
+			c.Migrants, gaParams.PopulationSize)
+	}
+	return nil
+}
+
+// Result is the outcome of a multi-island run.
+type Result struct {
+	// Best is the fittest individual across all islands.
+	Best ga.Individual
+	// BestIsland is the island that produced it.
+	BestIsland int
+	// PerIsland holds each island's best-ever fitness.
+	PerIsland []float64
+	// Generations executed per island.
+	Generations int
+	// Migrations performed (sync rounds).
+	Migrations int
+}
+
+// Run executes the island-model design: the same problem on every
+// island, each with its own derived seed. gaParams.Seed seeds island 0;
+// island k uses Seed + k*7919.
+func Run(problem core.Problem, gaParams ga.Params, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(gaParams); err != nil {
+		return Result{}, err
+	}
+	if problem.Engine == nil {
+		return Result{}, fmt.Errorf("island: nil PIPE engine")
+	}
+	pool, err := cluster.New(problem.Engine, problem.TargetID, problem.NonTargetIDs, cfg.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+	eval := ga.EvaluatorFunc(func(seqs []seq.Sequence) []float64 {
+		results := pool.EvaluateAll(seqs)
+		fits := make([]float64, len(seqs))
+		for i, r := range results {
+			fits[i] = core.Fitness(r.TargetScore, r.NonTargetScores)
+		}
+		return fits
+	})
+
+	engines := make([]*ga.Engine, cfg.Islands)
+	for k := range engines {
+		p := gaParams
+		p.Seed = gaParams.Seed + int64(k)*7919
+		eng, err := ga.New(p, eval)
+		if err != nil {
+			return Result{}, err
+		}
+		eng.InitPopulation()
+		engines[k] = eng
+	}
+
+	res := Result{PerIsland: make([]float64, cfg.Islands)}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		for _, eng := range engines {
+			eng.Step()
+		}
+		if (gen+1)%cfg.SyncInterval == 0 && gen+1 < cfg.Generations {
+			if err := migrate(engines, cfg.Migrants); err != nil {
+				return Result{}, err
+			}
+			res.Migrations++
+		}
+	}
+	for k, eng := range engines {
+		best, _ := eng.BestEver()
+		res.PerIsland[k] = best.Fitness
+		if best.Fitness > res.Best.Fitness || res.Best.Seq.Len() == 0 {
+			res.Best = best
+			res.BestIsland = k
+		}
+	}
+	res.Generations = cfg.Generations
+	return res, nil
+}
+
+// migrate implements the master sync: each island broadcasts the best
+// `migrants` individuals of its last *evaluated* generation; its ring
+// successor injects them into its next (not yet evaluated) generation in
+// place of the final slots. The next Step evaluates immigrants alongside
+// the natives, exactly as if the local GA had produced them.
+func migrate(engines []*ga.Engine, migrants int) error {
+	n := len(engines)
+	best := make([][]ga.Individual, n)
+	for k, eng := range engines {
+		evaluated := append([]ga.Individual(nil), eng.LastEvaluated()...)
+		sort.SliceStable(evaluated, func(i, j int) bool {
+			return evaluated[i].Fitness > evaluated[j].Fitness
+		})
+		best[k] = evaluated[:migrants]
+	}
+	for k, eng := range engines {
+		immigrants := best[(k-1+n)%n] // ring predecessor sends its best
+		pop := eng.Population()
+		next := make([]seq.Sequence, len(pop))
+		for i := range pop {
+			next[i] = pop[i].Seq
+		}
+		for m := 0; m < migrants; m++ {
+			next[len(next)-migrants+m] = immigrants[m].Seq
+		}
+		if err := eng.SetPopulation(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpeedupEstimate applies the paper's argument that multi-rack sync
+// overhead is negligible: with R racks each running an island and a
+// per-sync cost of syncSeconds against genSeconds of parallel work per
+// generation, the efficiency is gen/(gen+sync) — independent of R for
+// the small R the paper envisions.
+func SpeedupEstimate(racks int, genSeconds, syncSeconds float64) float64 {
+	if genSeconds <= 0 {
+		return 0
+	}
+	return float64(racks) * genSeconds / (genSeconds + syncSeconds)
+}

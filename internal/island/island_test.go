@@ -1,0 +1,245 @@
+package island
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+var (
+	once   sync.Once
+	prot   *yeastgen.Proteome
+	engine *pipe.Engine
+)
+
+func setup(t testing.TB) (*yeastgen.Proteome, *pipe.Engine) {
+	once.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		prot, engine = pr, eng
+	})
+	return prot, engine
+}
+
+func gaParams(pop int, seed int64) ga.Params {
+	p := ga.DefaultParams()
+	p.PopulationSize = pop
+	p.SeqLen = 120
+	p.Seed = seed
+	return p
+}
+
+func problem(t testing.TB) core.Problem {
+	pr, eng := setup(t)
+	target := pr.WetlabTargetIDs()[0]
+	var nts []int
+	for _, id := range pr.ComponentMembers(pr.Component(target)) {
+		if id != target && len(nts) < 5 {
+			nts = append(nts, id)
+		}
+	}
+	return core.Problem{Engine: eng, TargetID: target, NonTargetIDs: nts}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := problem(t)
+	if _, err := Run(core.Problem{}, gaParams(10, 1), Config{Generations: 2}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := Run(p, gaParams(10, 1), Config{Islands: 1, Generations: 2}); err == nil {
+		t.Error("single island accepted")
+	}
+	if _, err := Run(p, gaParams(10, 1), Config{Migrants: 10, Generations: 2}); err == nil {
+		t.Error("migrants >= population accepted")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	p := problem(t)
+	res, err := Run(p, gaParams(12, 1), Config{
+		Islands:      3,
+		SyncInterval: 2,
+		Migrants:     2,
+		Generations:  6,
+		Cluster:      cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 6 {
+		t.Errorf("generations %d", res.Generations)
+	}
+	// Syncs after generations 2 and 4 (not after the final one).
+	if res.Migrations != 2 {
+		t.Errorf("migrations %d, want 2", res.Migrations)
+	}
+	if len(res.PerIsland) != 3 {
+		t.Fatalf("per-island results %d", len(res.PerIsland))
+	}
+	best := 0.0
+	for _, f := range res.PerIsland {
+		if f > best {
+			best = f
+		}
+	}
+	if math.Abs(res.Best.Fitness-best) > 1e-12 {
+		t.Errorf("Best %f != max per-island %f", res.Best.Fitness, best)
+	}
+	if res.BestIsland < 0 || res.BestIsland >= 3 {
+		t.Errorf("BestIsland %d", res.BestIsland)
+	}
+	if res.Best.Seq.Len() != 120 {
+		t.Errorf("best sequence length %d", res.Best.Seq.Len())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := problem(t)
+	cfg := Config{Islands: 2, SyncInterval: 2, Migrants: 1, Generations: 4,
+		Cluster: cluster.Config{Workers: 1, ThreadsPerWorker: 1}}
+	a, err := Run(p, gaParams(10, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, gaParams(10, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Fitness != b.Best.Fitness || a.Best.Seq.Residues() != b.Best.Seq.Residues() {
+		t.Error("island run not deterministic under fixed seed")
+	}
+	c, err := Run(p, gaParams(10, 8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Best.Seq.Residues() == a.Best.Seq.Residues() {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestIslandsDivergeWithoutSync(t *testing.T) {
+	// With a huge sync interval, islands never exchange individuals and
+	// evolve independently: their best fitness values differ (different
+	// seeds explore different regions).
+	p := problem(t)
+	res, err := Run(p, gaParams(10, 3), Config{
+		Islands:      3,
+		SyncInterval: 1000,
+		Migrants:     1,
+		Generations:  5,
+		Cluster:      cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("migrations %d, want 0", res.Migrations)
+	}
+}
+
+func TestMigrationSpreadsEliteSequences(t *testing.T) {
+	// Drive two ga engines by hand: the receiving island's next
+	// population must contain the sender's best evaluated sequence
+	// verbatim after migrate.
+	eval := ga.EvaluatorFunc(func(seqs []seq.Sequence) []float64 {
+		out := make([]float64, len(seqs))
+		for i, s := range seqs {
+			// Count 'W' residues as fitness so engines rank sequences
+			// deterministically.
+			n := 0
+			for j := 0; j < s.Len(); j++ {
+				if s.At(j) == 'W' {
+					n++
+				}
+			}
+			out[i] = float64(n) / float64(s.Len())
+		}
+		return out
+	})
+	mk := func(seed int64) *ga.Engine {
+		e, err := ga.New(gaParams(8, seed), eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.InitPopulation()
+		e.Step()
+		return e
+	}
+	a, b := mk(1), mk(2)
+	bestOfA := bestEvaluated(a)
+	bestOfB := bestEvaluated(b)
+	if err := migrate([]*ga.Engine{a, b}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Ring: island 1 (b) receives island 0's (a) best, and vice versa.
+	if !contains(b, bestOfA) {
+		t.Error("island b did not receive island a's best sequence")
+	}
+	if !contains(a, bestOfB) {
+		t.Error("island a did not receive island b's best sequence")
+	}
+}
+
+func bestEvaluated(e *ga.Engine) string {
+	best := ""
+	bestFit := -1.0
+	for _, ind := range e.LastEvaluated() {
+		if ind.Fitness > bestFit {
+			bestFit = ind.Fitness
+			best = ind.Seq.Residues()
+		}
+	}
+	return best
+}
+
+func contains(e *ga.Engine, residues string) bool {
+	for _, ind := range e.Population() {
+		if ind.Seq.Residues() == residues {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRingMigrationCount(t *testing.T) {
+	res, err := Run(problem(t), gaParams(10, 5), Config{
+		Islands:      2,
+		SyncInterval: 1,
+		Migrants:     3,
+		Generations:  5,
+		Cluster:      cluster.Config{Workers: 1, ThreadsPerWorker: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 4 {
+		t.Errorf("migrations %d, want 4", res.Migrations)
+	}
+}
+
+func TestSpeedupEstimate(t *testing.T) {
+	// The paper's argument: sync cost is negligible, so R racks give ~R x.
+	if got := SpeedupEstimate(16, 3600, 1); got < 15.9 || got > 16 {
+		t.Errorf("16 racks, cheap sync: %f", got)
+	}
+	// Expensive sync halves the win.
+	if got := SpeedupEstimate(4, 10, 10); math.Abs(got-2) > 1e-12 {
+		t.Errorf("expensive sync: %f", got)
+	}
+	if SpeedupEstimate(4, 0, 1) != 0 {
+		t.Error("zero generation time")
+	}
+}

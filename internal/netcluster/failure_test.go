@@ -1,0 +1,116 @@
+package netcluster
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// flakyWorker speaks the wire protocol just far enough to take one task,
+// then drops the connection without returning a result — simulating a
+// node crash mid-candidate.
+func flakyWorker(t *testing.T, addr string) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("flaky worker dial: %v", err)
+		return
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var setup Setup
+	if err := dec.Decode(&setup); err != nil {
+		t.Errorf("flaky worker setup: %v", err)
+		return
+	}
+	if err := enc.Encode(requestMsg{}); err != nil {
+		t.Errorf("flaky worker request: %v", err)
+		return
+	}
+	var task taskMsg
+	if err := dec.Decode(&task); err != nil {
+		t.Errorf("flaky worker task: %v", err)
+		return
+	}
+	if task.End {
+		return // nothing to sabotage
+	}
+	// Crash: close without sending the result.
+}
+
+// TestWorkerCrashRequeuesTask verifies the failure-handling deviation
+// documented in the package comment: a task handed to a worker that dies
+// is re-queued and completed by a healthy worker, so EvaluateAll still
+// returns every result.
+func TestWorkerCrashRequeuesTask(t *testing.T) {
+	m := startMaster(t, []int{1, 2}, 1)
+
+	// The saboteur connects first and takes (then drops) one task.
+	go flakyWorker(t, m.Addr())
+
+	// A healthy worker joins shortly after and must pick up the pieces.
+	healthyDone := make(chan int, 1)
+	go func() {
+		n, err := RunWorker(m.Addr())
+		if err != nil {
+			t.Errorf("healthy worker: %v", err)
+		}
+		healthyDone <- n
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Workers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not connect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	seqs := make([]seq.Sequence, 6)
+	for i := range seqs {
+		seqs[i] = seq.Random(rng, "cand", 110, seq.YeastComposition())
+	}
+	done := make(chan []int, 1)
+	go func() {
+		results := m.EvaluateAll(seqs)
+		idx := make([]int, len(results))
+		for i, r := range results {
+			idx[i] = r.Index
+		}
+		done <- idx
+	}()
+	select {
+	case idx := <-done:
+		if len(idx) != 6 {
+			t.Fatalf("got %d results", len(idx))
+		}
+		for i, want := range idx {
+			if want != i {
+				t.Errorf("result %d has index %d", i, want)
+			}
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("EvaluateAll hung after worker crash — task not re-queued")
+	}
+	m.Close()
+	select {
+	case <-healthyDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy worker did not exit")
+	}
+}
+
+// TestMasterRejectsAfterClose ensures late connections don't hang.
+func TestMasterRejectsAfterClose(t *testing.T) {
+	m := startMaster(t, nil, 1)
+	m.Close()
+	if _, err := RunWorker(m.Addr()); err == nil {
+		t.Error("worker connected to a closed master")
+	}
+}

@@ -1,0 +1,362 @@
+// Package netcluster is the distributed deployment of the master/worker
+// engine (paper Section 2.3) over real sockets: the master listens on a
+// TCP address, and each worker process connects, receives the broadcast
+// data (protein sequences, interaction edges and PIPE configuration —
+// everything Algorithm 1 loads from disk and broadcasts), builds its own
+// read-only PIPE engine, and then enters Algorithm 2's work-request loop.
+//
+// MPI send/receive becomes length-delimited gob messages; the on-demand,
+// lock-step protocol is preserved exactly: a worker's request carries the
+// result of its previous task, and the master answers with the next
+// candidate or the END signal. A worker that dies mid-task has its task
+// re-queued, which MPI InSiPS could not do — noted as a deviation.
+package netcluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/pipe"
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+	"repro/internal/simindex"
+	"repro/internal/submat"
+)
+
+// Protein is the wire form of one proteome sequence.
+type Protein struct {
+	Name     string
+	Residues string
+}
+
+// Setup is the broadcast payload: everything a worker needs to rebuild
+// the shared read-only state. Substitution matrix and reduced alphabet
+// travel by name, since they are code, not data.
+type Setup struct {
+	Proteins []Protein
+	Edges    [][2]int32
+
+	Window      int
+	SeedLen     int
+	Threshold   int
+	MatrixName  string
+	ReducedName string
+
+	CellSupport  float64
+	FilterRadius int
+	Unfiltered   bool
+	TopFrac      float64
+	ScoreScale   float64
+	Pseudocount  float64
+	MinOcc       int
+	WeightScale  float64
+
+	TargetID         int
+	NonTargetIDs     []int
+	ThreadsPerWorker int
+}
+
+// NewSetup captures an engine's proteome, graph and configuration plus
+// the design problem into a broadcastable Setup.
+func NewSetup(e *pipe.Engine, targetID int, nonTargetIDs []int, threadsPerWorker int) Setup {
+	g := e.Graph()
+	cfg := e.Config()
+	s := Setup{
+		Window:           cfg.Index.Window,
+		SeedLen:          cfg.Index.SeedLen,
+		Threshold:        cfg.Index.Threshold,
+		MatrixName:       cfg.Index.Matrix.Name(),
+		ReducedName:      cfg.Index.Reduced.Name(),
+		CellSupport:      cfg.CellSupport,
+		FilterRadius:     cfg.FilterRadius,
+		Unfiltered:       cfg.Unfiltered,
+		TopFrac:          cfg.TopFrac,
+		ScoreScale:       cfg.ScoreScale,
+		Pseudocount:      cfg.Pseudocount,
+		MinOcc:           cfg.MinOcc,
+		WeightScale:      cfg.WeightScale,
+		TargetID:         targetID,
+		NonTargetIDs:     nonTargetIDs,
+		ThreadsPerWorker: threadsPerWorker,
+	}
+	for i := 0; i < g.NumProteins(); i++ {
+		ix := e.Index().Protein(i)
+		s.Proteins = append(s.Proteins, Protein{Name: ix.Name(), Residues: ix.Residues()})
+	}
+	g.Edges(func(a, b int) bool {
+		s.Edges = append(s.Edges, [2]int32{int32(a), int32(b)})
+		return true
+	})
+	return s
+}
+
+// BuildEngine reconstructs the PIPE engine on the worker side — the
+// paper's "worker processes do not load any data from disk".
+func (s Setup) BuildEngine() (*pipe.Engine, error) {
+	matrix, err := submat.ByName(s.MatrixName)
+	if err != nil {
+		return nil, err
+	}
+	var reduced *seq.ReducedAlphabet
+	switch s.ReducedName {
+	case "murphy10":
+		reduced = seq.Murphy10()
+	case "dayhoff6":
+		reduced = seq.Dayhoff6()
+	case "identity20":
+		reduced = seq.Identity20()
+	default:
+		return nil, fmt.Errorf("netcluster: unknown reduced alphabet %q", s.ReducedName)
+	}
+	proteins := make([]seq.Sequence, len(s.Proteins))
+	builder := ppigraph.NewBuilder()
+	for i, p := range s.Proteins {
+		sq, err := seq.New(p.Name, p.Residues)
+		if err != nil {
+			return nil, err
+		}
+		proteins[i] = sq
+		builder.AddProtein(p.Name)
+	}
+	for _, e := range s.Edges {
+		builder.AddEdgeID(int(e[0]), int(e[1]))
+	}
+	cfg := pipe.Config{
+		Index: simindex.Config{
+			Window:    s.Window,
+			SeedLen:   s.SeedLen,
+			Threshold: s.Threshold,
+			Matrix:    matrix,
+			Reduced:   reduced,
+		},
+		CellSupport:  s.CellSupport,
+		FilterRadius: s.FilterRadius,
+		Unfiltered:   s.Unfiltered,
+		TopFrac:      s.TopFrac,
+		ScoreScale:   s.ScoreScale,
+		Pseudocount:  s.Pseudocount,
+		MinOcc:       s.MinOcc,
+		WeightScale:  s.WeightScale,
+	}
+	return pipe.New(proteins, builder.Build(), cfg, 0)
+}
+
+// Wire protocol -------------------------------------------------------
+
+type taskMsg struct {
+	End      bool
+	Index    int
+	Name     string
+	Residues string
+}
+
+type requestMsg struct {
+	HasResult bool
+	Index     int
+	Target    float64
+	NonTarget []float64
+}
+
+type pendingTask struct {
+	index int
+	seq   seq.Sequence
+}
+
+// Master owns the listener and distributes candidate evaluations to
+// connected workers. Create with NewMaster, then call EvaluateAll any
+// number of times and Close when done.
+type Master struct {
+	setup Setup
+	ln    net.Listener
+
+	tasks   chan pendingTask
+	results chan requestMsg
+
+	mu      sync.Mutex
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewMaster starts serving on ln (which the caller created, e.g. via
+// net.Listen("tcp", "127.0.0.1:0")). The accept loop runs until Close.
+func NewMaster(setup Setup, ln net.Listener) *Master {
+	m := &Master{
+		setup:   setup,
+		ln:      ln,
+		tasks:   make(chan pendingTask),
+		results: make(chan requestMsg, 64),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m
+}
+
+// Addr returns the master's listen address for workers to dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Workers returns the number of currently connected workers.
+func (m *Master) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.workers++
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.handle(conn)
+	}
+}
+
+// handle speaks the lock-step protocol with one worker. If the
+// connection dies while a task is outstanding, the task is re-queued.
+func (m *Master) handle(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	defer func() {
+		m.mu.Lock()
+		m.workers--
+		m.mu.Unlock()
+	}()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(m.setup); err != nil {
+		log.Printf("netcluster: master: broadcast failed: %v", err)
+		return
+	}
+	var inflight *pendingTask
+	requeue := func() {
+		if inflight != nil {
+			m.tasks <- *inflight
+			inflight = nil
+		}
+	}
+	for {
+		var req requestMsg
+		if err := dec.Decode(&req); err != nil {
+			requeue()
+			return
+		}
+		if req.HasResult {
+			inflight = nil
+			m.results <- req
+		}
+		t, ok := <-m.tasks
+		if !ok {
+			_ = enc.Encode(taskMsg{End: true})
+			return
+		}
+		if err := enc.Encode(taskMsg{Index: t.index, Name: t.seq.Name(), Residues: t.seq.Residues()}); err != nil {
+			m.tasks <- t
+			return
+		}
+		inflight = &t
+	}
+}
+
+// EvaluateAll distributes the candidates to connected workers and blocks
+// until every result is in. At least one worker must connect eventually
+// or the call blocks. Not safe for concurrent calls.
+func (m *Master) EvaluateAll(seqs []seq.Sequence) []cluster.Result {
+	go func() {
+		for i, s := range seqs {
+			m.tasks <- pendingTask{index: i, seq: s}
+		}
+	}()
+	out := make([]cluster.Result, len(seqs))
+	for done := 0; done < len(seqs); done++ {
+		r := <-m.results
+		out[r.Index] = cluster.Result{
+			Index:           r.Index,
+			TargetScore:     r.Target,
+			NonTargetScores: r.NonTarget,
+		}
+	}
+	return out
+}
+
+// Close sends END to all workers (after in-flight work drains) and shuts
+// the listener down.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.tasks)
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}
+
+// RunWorker connects to the master at addr, rebuilds the engine from the
+// broadcast Setup, and processes tasks until the END signal. It returns
+// the number of tasks processed.
+func RunWorker(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var setup Setup
+	if err := dec.Decode(&setup); err != nil {
+		return 0, fmt.Errorf("netcluster: worker: receiving setup: %w", err)
+	}
+	engine, err := setup.BuildEngine()
+	if err != nil {
+		return 0, fmt.Errorf("netcluster: worker: rebuilding engine: %w", err)
+	}
+	threads := setup.ThreadsPerWorker
+	if threads <= 0 {
+		threads = 1
+	}
+	work := append([]int{setup.TargetID}, setup.NonTargetIDs...)
+	processed := 0
+	req := requestMsg{} // first request carries no result
+	for {
+		if err := enc.Encode(req); err != nil {
+			return processed, fmt.Errorf("netcluster: worker: sending request: %w", err)
+		}
+		var t taskMsg
+		if err := dec.Decode(&t); err != nil {
+			return processed, fmt.Errorf("netcluster: worker: receiving task: %w", err)
+		}
+		if t.End {
+			return processed, nil
+		}
+		cand, err := seq.New(t.Name, t.Residues)
+		if err != nil {
+			return processed, fmt.Errorf("netcluster: worker: bad candidate: %w", err)
+		}
+		scores := engine.ScoreMany(cand, work, threads)
+		req = requestMsg{
+			HasResult: true,
+			Index:     t.Index,
+			Target:    scores[0],
+			NonTarget: scores[1:],
+		}
+		processed++
+	}
+}

@@ -1,0 +1,202 @@
+package netcluster
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+var (
+	once   sync.Once
+	prot   *yeastgen.Proteome
+	engine *pipe.Engine
+)
+
+func setupEngine(t testing.TB) (*yeastgen.Proteome, *pipe.Engine) {
+	once.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		eng, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		prot, engine = pr, eng
+	})
+	return prot, engine
+}
+
+func TestSetupRoundTrip(t *testing.T) {
+	pr, eng := setupEngine(t)
+	setup := NewSetup(eng, 0, []int{1, 2}, 2)
+	if len(setup.Proteins) != len(pr.Proteins) {
+		t.Fatalf("setup has %d proteins", len(setup.Proteins))
+	}
+	if len(setup.Edges) != pr.Graph.NumEdges() {
+		t.Fatalf("setup has %d edges, graph %d", len(setup.Edges), pr.Graph.NumEdges())
+	}
+	rebuilt, err := setup.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuilt engine must produce identical scores.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		a, b := rng.Intn(len(pr.Proteins)), rng.Intn(len(pr.Proteins))
+		if got, want := rebuilt.ScorePair(a, b), eng.ScorePair(a, b); got != want {
+			t.Errorf("rebuilt ScorePair(%d,%d) = %f, want %f", a, b, got, want)
+		}
+	}
+}
+
+func TestSetupBadNames(t *testing.T) {
+	s := Setup{MatrixName: "NOPE", ReducedName: "murphy10"}
+	if _, err := s.BuildEngine(); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	s = Setup{MatrixName: "PAM120", ReducedName: "NOPE"}
+	if _, err := s.BuildEngine(); err == nil {
+		t.Error("unknown alphabet accepted")
+	}
+}
+
+func startMaster(t *testing.T, nonTargets []int, threads int) *Master {
+	t.Helper()
+	_, eng := setupEngine(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaster(NewSetup(eng, 0, nonTargets, threads), ln)
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestEndToEndSingleWorker(t *testing.T) {
+	pr, eng := setupEngine(t)
+	m := startMaster(t, []int{1, 2, 3}, 2)
+
+	workerDone := make(chan int, 1)
+	go func() {
+		n, err := RunWorker(m.Addr())
+		if err != nil {
+			t.Errorf("worker: %v", err)
+		}
+		workerDone <- n
+	}()
+
+	rng := rand.New(rand.NewSource(2))
+	seqs := make([]seq.Sequence, 5)
+	for i := range seqs {
+		seqs[i] = seq.Random(rng, "cand", 120, seq.YeastComposition())
+	}
+	results := m.EvaluateAll(seqs)
+	if len(results) != 5 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i || len(r.NonTargetScores) != 3 {
+			t.Errorf("result %d malformed: %+v", i, r)
+		}
+		want := eng.Score(seqs[i], 0, 1)
+		if r.TargetScore != want {
+			t.Errorf("candidate %d: remote target score %f != local %f", i, r.TargetScore, want)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-workerDone:
+		if n != 5 {
+			t.Errorf("worker processed %d tasks, want 5", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after END")
+	}
+	_ = pr
+}
+
+func TestMultipleWorkersShareLoad(t *testing.T) {
+	m := startMaster(t, []int{1}, 1)
+	const nWorkers = 3
+	counts := make(chan int, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		go func() {
+			n, err := RunWorker(m.Addr())
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+			counts <- n
+		}()
+	}
+	// Wait for all workers to be connected so work is actually shared.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Workers() < nWorkers {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not connect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rng := rand.New(rand.NewSource(3))
+	seqs := make([]seq.Sequence, 12)
+	for i := range seqs {
+		seqs[i] = seq.Random(rng, "cand", 110, seq.YeastComposition())
+	}
+	results := m.EvaluateAll(seqs)
+	if len(results) != 12 {
+		t.Fatal("missing results")
+	}
+	m.Close()
+	total := 0
+	for w := 0; w < nWorkers; w++ {
+		select {
+		case n := <-counts:
+			total += n
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit")
+		}
+	}
+	if total != 12 {
+		t.Errorf("workers processed %d tasks total, want 12", total)
+	}
+}
+
+func TestMultipleGenerations(t *testing.T) {
+	m := startMaster(t, []int{1, 2}, 1)
+	go RunWorker(m.Addr())
+	rng := rand.New(rand.NewSource(4))
+	for gen := 0; gen < 3; gen++ {
+		seqs := make([]seq.Sequence, 4)
+		for i := range seqs {
+			seqs[i] = seq.Random(rng, "cand", 100, seq.YeastComposition())
+		}
+		results := m.EvaluateAll(seqs)
+		if len(results) != 4 {
+			t.Fatalf("generation %d: %d results", gen, len(results))
+		}
+	}
+}
+
+func TestWorkerDialFailure(t *testing.T) {
+	if _, err := RunWorker("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port succeeded")
+	}
+}
+
+func TestMasterCloseIdempotent(t *testing.T) {
+	m := startMaster(t, nil, 1)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("second close errored:", err)
+	}
+}

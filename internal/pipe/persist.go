@@ -1,0 +1,129 @@
+package pipe
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+	"repro/internal/simindex"
+)
+
+// The paper's workers never compute the natural proteins' similarity
+// data online: "the preprocessing is completed offline, beforehand, for
+// the known natural proteins and stored in a database which is among the
+// data loaded and broadcast by the master process". SaveDB/LoadDB give
+// this repository the same offline artifact: the per-protein similarity
+// profiles, the expensive part of Engine construction, serialized with
+// a fingerprint of the proteome and configuration so a stale database
+// cannot be applied to the wrong inputs.
+
+// dbFileVersion guards the on-disk format.
+const dbFileVersion = 1
+
+// dbFile is the gob-encoded database layout.
+type dbFile struct {
+	Version     int
+	Fingerprint uint64
+	Profiles    []simindex.Profile
+}
+
+// fingerprint hashes everything the profiles depend on: the proteome
+// (names and residues, in order) and the similarity-search parameters.
+func fingerprint(proteins []seq.Sequence, cfg Config) uint64 {
+	h := fnv.New64a()
+	write := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	write(fmt.Sprintf("v%d w%d k%d t%d", dbFileVersion,
+		cfg.Index.Window, cfg.Index.SeedLen, cfg.Index.Threshold))
+	write(cfg.Index.Matrix.Name())
+	write(cfg.Index.Reduced.Name())
+	for _, p := range proteins {
+		write(p.Name())
+		write(p.Residues())
+	}
+	return h.Sum64()
+}
+
+// SaveDB writes the engine's precomputed similarity database to w.
+func (e *Engine) SaveDB(w io.Writer) error {
+	profiles := make([]simindex.Profile, len(e.db))
+	proteins := make([]seq.Sequence, len(e.db))
+	for i, q := range e.db {
+		profiles[i] = q.Profile
+		proteins[i] = q.Seq
+	}
+	return gob.NewEncoder(w).Encode(dbFile{
+		Version:     dbFileVersion,
+		Fingerprint: fingerprint(proteins, e.cfg),
+		Profiles:    profiles,
+	})
+}
+
+// SaveDBFile writes the similarity database to a file.
+func (e *Engine) SaveDBFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.SaveDB(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// NewFromDB builds an engine like New but loads the per-protein
+// similarity profiles from r instead of recomputing them (the expensive
+// step). The database must have been produced by SaveDB for the same
+// proteome and configuration; a fingerprint mismatch is an error.
+func NewFromDB(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, r io.Reader) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if g.NumProteins() != len(proteins) {
+		return nil, fmt.Errorf("pipe: %d proteins but graph has %d vertices", len(proteins), g.NumProteins())
+	}
+	var file dbFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("pipe: reading similarity database: %w", err)
+	}
+	if file.Version != dbFileVersion {
+		return nil, fmt.Errorf("pipe: database version %d, want %d", file.Version, dbFileVersion)
+	}
+	if got := fingerprint(proteins, cfg); file.Fingerprint != got {
+		return nil, fmt.Errorf("pipe: database fingerprint %x does not match proteome/config %x",
+			file.Fingerprint, got)
+	}
+	if len(file.Profiles) != len(proteins) {
+		return nil, fmt.Errorf("pipe: database has %d profiles for %d proteins",
+			len(file.Profiles), len(proteins))
+	}
+	ix, err := simindex.Build(proteins, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		graph: g,
+		index: ix,
+		db:    make([]*Query, len(proteins)),
+	}
+	for i, p := range proteins {
+		e.db[i] = e.newQueryFromProfile(p, file.Profiles[i])
+	}
+	return e, nil
+}
+
+// NewFromDBFile is NewFromDB reading from a file.
+func NewFromDBFile(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NewFromDB(proteins, g, cfg, f)
+}

@@ -1,0 +1,567 @@
+// Package pipe implements the Protein-protein Interaction Prediction
+// Engine used as InSiPS's fitness oracle (paper Section 2.2, after
+// Schoenrock et al., "MP-PIPE", ICS 2011).
+//
+// For a query pair (A, B), PIPE slides a window of size w over both
+// sequences. The result matrix M has one cell per window pair (i, j); the
+// cell counts how many known interacting protein pairs (X, Y) exist such
+// that window i of A is PAM120-similar to a fragment of X and window j of
+// B is similar to a fragment of Y. Co-occurrence of a fragment pair
+// across many known interactions is evidence the fragments mediate an
+// interaction.
+//
+// Raw counts alone reward promiscuous fragments (ones similar to many
+// proteins), so each smoothed cell is normalized by the number of
+// candidate pairs it could have come from: the product of the two
+// fragments' proteome occurrence counts. The normalized cell value is
+// then the fraction of candidate (X, Y) pairs that actually interact —
+// the specificity of the fragment pair. The final score is a saturating
+// transform of the mean of the top cells, giving a relative interaction
+// likelihood in [0,1].
+//
+// The exact normalization of the original engine is unpublished; ours is
+// calibrated (see AcceptanceThreshold) to the operating point the paper
+// quotes: a false-positive rate below 0.5% on non-interacting pairs.
+package pipe
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+	"repro/internal/simindex"
+	"repro/internal/submat"
+)
+
+// Config controls scoring. The zero value gets sensible defaults.
+type Config struct {
+	// Index configures window similarity search (window size, PAM120
+	// threshold, seeding).
+	Index simindex.Config
+	// CellSupport is the minimum smoothed weighted co-occurrence mass for
+	// a cell to contribute to the score (suppresses single-edge
+	// coincidences while letting weak graded evidence through, which is
+	// what gives the genetic algorithm its early gradient). Default 0.5.
+	CellSupport float64
+	// FilterRadius is the box-filter radius (1 means a 3x3 neighborhood).
+	// Default 1. Set Unfiltered to disable smoothing instead.
+	FilterRadius int
+	// Unfiltered disables the box filter (ablation).
+	Unfiltered bool
+	// TopFrac is the fraction of result-matrix cells (by value, after
+	// smoothing and normalization) averaged into the raw score.
+	// Default 0.01 (at least one cell).
+	TopFrac float64
+	// ScoreScale is the raw specificity at which the score reaches 0.5;
+	// the score is raw/(raw+ScoreScale). Default 0.08.
+	ScoreScale float64
+	// Pseudocount shrinks the specificity of weakly-occurring fragment
+	// pairs: cell value = count / (occProduct + Pseudocount). Default 60.
+	Pseudocount float64
+	// MinOcc is the minimum number of distinct proteome proteins each
+	// fragment of a cell must be similar to. Requiring >= 2 is the heart
+	// of PIPE: evidence must be a *co-occurring* fragment pair, conserved
+	// across multiple proteins on both sides, not a fluke similarity to a
+	// single protein's unique region. Default 2.
+	MinOcc int
+	// MinEvidence is the minimum number of distinct query-side evidence
+	// proteins X (over known edges (X, Y)) whose co-occurrences support a
+	// cell. It closes the remaining single-protein loophole MinOcc leaves
+	// open: one strong background match to a single well-connected
+	// protein cannot carry a prediction by itself. Default 2.
+	MinEvidence int
+	// WeightScale grades similarity hits: a hit at exactly the window
+	// threshold weighs ~0, one scoring Threshold+WeightScale or better
+	// weighs 1. Graded weights (the "similarity-weighted" PIPE variant)
+	// reward high-fidelity fragment matches, giving the genetic algorithm
+	// pressure toward strongly binding motifs. Default 40.
+	WeightScale float64
+	// WeightCap bounds weights; values above 1 let matches far above
+	// threshold keep gaining weight (an ablation knob — the default 1
+	// saturates at Threshold+WeightScale, which bootstraps the GA best).
+	WeightCap float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Index.Window == 0 {
+		c.Index.Window = 20
+	}
+	if c.Index.SeedLen == 0 {
+		c.Index.SeedLen = 5
+	}
+	if c.Index.Threshold == 0 {
+		c.Index.Threshold = 35
+	}
+	if c.Index.Matrix == nil {
+		c.Index.Matrix = submat.PAM120()
+	}
+	if c.Index.Reduced == nil {
+		c.Index.Reduced = seq.Murphy10()
+	}
+	if c.CellSupport == 0 {
+		c.CellSupport = 0.5
+	}
+	if c.FilterRadius == 0 {
+		c.FilterRadius = 1
+	}
+	if c.TopFrac == 0 {
+		c.TopFrac = 0.01
+	}
+	if c.ScoreScale == 0 {
+		c.ScoreScale = 0.08
+	}
+	if c.Pseudocount == 0 {
+		c.Pseudocount = 60
+	}
+	if c.MinOcc == 0 {
+		c.MinOcc = 2
+	}
+	if c.MinEvidence == 0 {
+		c.MinEvidence = 2
+	}
+	if c.WeightScale == 0 {
+		c.WeightScale = 40
+	}
+	if c.WeightCap == 0 {
+		c.WeightCap = 1
+	}
+	return c
+}
+
+// Engine scores protein pairs against a fixed proteome and interaction
+// graph. It is immutable after New and safe for concurrent use; per-call
+// scratch space lives in Scorer values.
+type Engine struct {
+	cfg   Config
+	graph *ppigraph.Graph
+	index *simindex.Index
+	db    []*Query // precomputed query context per natural protein
+}
+
+// Query is the preprocessed form of one sequence: its similarity profile
+// against the proteome plus per-window occurrence counts. Building a
+// Query is the candidate preprocessing step of Algorithm 2 ("build
+// specified portion of sequence_similarity in parallel"). A Query is
+// immutable and safe for concurrent use.
+type Query struct {
+	Seq      seq.Sequence
+	Profile  simindex.Profile
+	occCount []int32             // per-window count of distinct similar proteins
+	occW     []float32           // per-window sum of similarity weights
+	weights  map[int32][]float32 // per profile entry, aligned with Profile positions
+	order    []int32             // profile keys, sorted: deterministic accumulation
+}
+
+// New builds an engine over the proteome and interaction graph. The i-th
+// protein must be the graph vertex with ID i (matched by name). The
+// per-protein similarity database — the preprocessing the paper performs
+// "offline, beforehand, for the known natural proteins" — is built in
+// parallel across nThreads (<= 0 means GOMAXPROCS).
+func New(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, nThreads int) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if g.NumProteins() != len(proteins) {
+		return nil, fmt.Errorf("pipe: %d proteins but graph has %d vertices", len(proteins), g.NumProteins())
+	}
+	for i, p := range proteins {
+		if g.Name(i) != p.Name() {
+			return nil, fmt.Errorf("pipe: protein %d is %q but graph vertex %d is %q", i, p.Name(), i, g.Name(i))
+		}
+	}
+	ix, err := simindex.Build(proteins, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		graph: g,
+		index: ix,
+		db:    make([]*Query, len(proteins)),
+	}
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < len(proteins); i += nThreads {
+				e.db[i] = e.newQueryFromProfile(proteins[i], ix.SequenceSimilarity(proteins[i], 1))
+			}
+		}(t)
+	}
+	wg.Wait()
+	return e, nil
+}
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Graph returns the interaction graph the engine mines.
+func (e *Engine) Graph() *ppigraph.Graph { return e.graph }
+
+// Index returns the underlying window-similarity index.
+func (e *Engine) Index() *simindex.Index { return e.index }
+
+// DBQuery returns the precomputed query context of natural protein id.
+func (e *Engine) DBQuery(id int) *Query { return e.db[id] }
+
+// weightOf grades a similarity score into (0, WeightCap].
+func (e *Engine) weightOf(score int32) float32 {
+	w := float64(score-int32(e.cfg.Index.Threshold)) / e.cfg.WeightScale
+	if w > e.cfg.WeightCap {
+		w = e.cfg.WeightCap
+	}
+	if w < 0.02 {
+		w = 0.02 // threshold hits still register faintly
+	}
+	return float32(w)
+}
+
+func (e *Engine) newQueryFromProfile(s seq.Sequence, prof simindex.Profile) *Query {
+	nw := s.NumWindows(e.cfg.Index.Window)
+	if nw < 0 {
+		nw = 0
+	}
+	q := &Query{
+		Seq:      s,
+		Profile:  prof,
+		occCount: make([]int32, nw),
+		occW:     make([]float32, nw),
+		weights:  make(map[int32][]float32, len(prof)),
+	}
+	for id, entries := range prof {
+		q.order = append(q.order, id)
+		ws := make([]float32, len(entries))
+		for k, ps := range entries {
+			w := e.weightOf(ps.Score)
+			ws[k] = w
+			q.occCount[ps.Pos]++
+		}
+		q.weights[id] = ws
+	}
+	sort.Slice(q.order, func(i, j int) bool { return q.order[i] < q.order[j] })
+	// Weighted occupancy accumulates in sorted order so float sums are
+	// deterministic across processes.
+	for _, id := range q.order {
+		for k, ps := range prof[id] {
+			q.occW[ps.Pos] += q.weights[id][k]
+		}
+	}
+	return q
+}
+
+// NewQuery preprocesses an arbitrary (usually synthetic) sequence for
+// scoring, building its similarity profile with nThreads workers
+// (<= 0 means GOMAXPROCS).
+func (e *Engine) NewQuery(s seq.Sequence, nThreads int) *Query {
+	return e.newQueryFromProfile(s, e.index.SequenceSimilarity(s, nThreads))
+}
+
+// Scorer holds reusable scratch space for result-matrix computation.
+// A Scorer is not safe for concurrent use; create one per goroutine.
+type Scorer struct {
+	e      *Engine
+	mat    []float32
+	evid   []uint16 // distinct evidence proteins per cell
+	stamp  []int32  // last evidence protein to touch each cell
+	horiz  []float32
+	colAcc []float32
+	top    []float64
+}
+
+// NewScorer returns a Scorer bound to the engine.
+func (e *Engine) NewScorer() *Scorer { return &Scorer{e: e} }
+
+func (s *Scorer) grow(n int) {
+	if cap(s.mat) < n {
+		s.mat = make([]float32, n)
+		s.evid = make([]uint16, n)
+		s.stamp = make([]int32, n)
+		s.horiz = make([]float32, n)
+	}
+	s.mat = s.mat[:n]
+	s.evid = s.evid[:n]
+	s.stamp = s.stamp[:n]
+	s.horiz = s.horiz[:n]
+	for i := range s.mat {
+		s.mat[i] = 0
+		s.evid[i] = 0
+		s.stamp[i] = 0
+	}
+}
+
+// Score computes PIPE(query, natural protein bID) in [0,1].
+func (s *Scorer) Score(q *Query, bID int) float64 {
+	e := s.e
+	w := e.cfg.Index.Window
+	b := e.db[bID]
+	n := q.Seq.NumWindows(w)
+	m := b.Seq.NumWindows(w)
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	s.grow(n * m)
+	mat := s.mat
+	// Result matrix: for every known edge (X, Y) with query-similar
+	// windows on X and target-similar windows on Y, add the product of
+	// the two similarity weights to all (i, j) combinations. Iterating X
+	// over the query profile and Y over X's graph neighbors covers both
+	// orientations of each undirected edge.
+	evid, stamp := s.evid, s.stamp
+	for _, x := range q.order {
+		aEntries := q.Profile[x]
+		aWeights := q.weights[x]
+		xStamp := x + 1 // stamps are 1-based so the zeroed matrix is "untouched"
+		for _, y := range e.graph.Neighbors(int(x)) {
+			bEntries, ok := b.Profile[y]
+			if !ok {
+				continue
+			}
+			bWeights := b.weights[y]
+			for ai, pa := range aEntries {
+				wa := aWeights[ai]
+				base := int(pa.Pos) * m
+				row := mat[base : base+m]
+				for bi, pb := range bEntries {
+					row[pb.Pos] += wa * bWeights[bi]
+					// Count each evidence protein X once per cell.
+					if stamp[base+int(pb.Pos)] != xStamp {
+						stamp[base+int(pb.Pos)] = xStamp
+						evid[base+int(pb.Pos)]++
+					}
+				}
+			}
+		}
+	}
+	raw := s.topSpecificity(q, b, n, m)
+	return raw / (raw + e.cfg.ScoreScale)
+}
+
+// topSpecificity smooths the count matrix, normalizes each cell by the
+// smoothed occurrence product, and returns the mean of the top TopFrac
+// cells.
+func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
+	e := s.e
+	r := e.cfg.FilterRadius
+	if e.cfg.Unfiltered {
+		r = 0
+	}
+	// Box sums of the weighted occurrence vectors (the normalization
+	// denominator is separable: the neighborhood sum of occA[i]*occB[j]
+	// equals boxSum(occA)[i] * boxSum(occB)[j]).
+	sumA := boxSum1D(q.occW, n, r)
+	sumB := boxSum1D(b.occW, m, r)
+
+	// Horizontal box sums of the count matrix.
+	mat, horiz := s.mat, s.horiz
+	for i := 0; i < n; i++ {
+		row := mat[i*m : i*m+m]
+		var acc float32
+		for j := 0; j <= r && j < m; j++ {
+			acc += row[j]
+		}
+		out := horiz[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			out[j] = acc
+			if j+r+1 < m {
+				acc += row[j+r+1]
+			}
+			if j-r >= 0 {
+				acc -= row[j-r]
+			}
+		}
+	}
+
+	// Vertical accumulation plus top-K selection via a bounded min-heap.
+	k := int(e.cfg.TopFrac * float64(n*m))
+	if k < 1 {
+		k = 1
+	}
+	if cap(s.top) < k {
+		s.top = make([]float64, 0, k)
+	}
+	top := s.top[:0]
+	if cap(s.colAcc) < m {
+		s.colAcc = make([]float32, m)
+	}
+	colAcc := s.colAcc[:m]
+	for j := range colAcc {
+		colAcc[j] = 0
+	}
+	for i := 0; i <= r && i < n; i++ {
+		for j := 0; j < m; j++ {
+			colAcc[j] += horiz[i*m+j]
+		}
+	}
+	support := float32(e.cfg.CellSupport)
+	alpha := e.cfg.Pseudocount
+	minOcc := int32(e.cfg.MinOcc)
+	minEvid := uint16(e.cfg.MinEvidence)
+	evid := s.evid
+	occA, occB := q.occCount, b.occCount
+	for i := 0; i < n; i++ {
+		sa := sumA[i]
+		for j := 0; j < m; j++ {
+			cnt := colAcc[j]
+			if cnt >= support && evid[i*m+j] >= minEvid &&
+				occA[i] >= minOcc && occB[j] >= minOcc && sa > 0 && sumB[j] > 0 {
+				v := float64(cnt) / (sa*sumB[j] + alpha)
+				if v > 1 {
+					v = 1
+				}
+				top = heapPush(top, v, k)
+			}
+		}
+		if i+r+1 < n {
+			row := horiz[(i+r+1)*m : (i+r+1)*m+m]
+			for j := 0; j < m; j++ {
+				colAcc[j] += row[j]
+			}
+		}
+		if i-r >= 0 {
+			row := horiz[(i-r)*m : (i-r)*m+m]
+			for j := 0; j < m; j++ {
+				colAcc[j] -= row[j]
+			}
+		}
+	}
+	s.top = top
+	if len(top) == 0 {
+		return 0
+	}
+	// Cells below the support threshold count as zeros in the mean so the
+	// score reflects both strength and extent of the signal.
+	total := 0.0
+	for _, v := range top {
+		total += v
+	}
+	return total / float64(k)
+}
+
+// boxSum1D returns box sums of radius r over occ (zero-padded), as floats.
+func boxSum1D(occ []float32, n, r int) []float64 {
+	out := make([]float64, n)
+	var acc float64
+	for i := 0; i <= r && i < n; i++ {
+		acc += float64(occ[i])
+	}
+	for i := 0; i < n; i++ {
+		out[i] = acc
+		if i+r+1 < n {
+			acc += float64(occ[i+r+1])
+		}
+		if i-r >= 0 {
+			acc -= float64(occ[i-r])
+		}
+	}
+	return out
+}
+
+// heapPush maintains h as a min-heap of at most k largest values.
+func heapPush(h []float64, v float64, k int) []float64 {
+	if len(h) < k {
+		h = append(h, v)
+		// Sift up.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] <= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	if v <= h[0] {
+		return h
+	}
+	h[0] = v
+	// Sift down.
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if rr < len(h) && h[rr] < h[smallest] {
+			smallest = rr
+		}
+		if smallest == i {
+			return h
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Score computes PIPE(query, protein bID), building the query context
+// with nThreads workers. Convenience wrapper; batch callers should reuse
+// a Query and Scorer.
+func (e *Engine) Score(q seq.Sequence, bID, nThreads int) float64 {
+	return e.NewScorer().Score(e.NewQuery(q, nThreads), bID)
+}
+
+// ScorePair computes PIPE between two natural proteins using the
+// precomputed database contexts.
+func (e *Engine) ScorePair(aID, bID int) float64 {
+	return e.NewScorer().Score(e.db[aID], bID)
+}
+
+// ScoreMany computes PIPE(query, id) for every id in ids, splitting the
+// per-protein predictions across nThreads goroutines — the "all-workers"
+// inner loop of Algorithm 2. The query context is built once (also in
+// parallel) and shared read-only by all threads, mirroring the paper's
+// shared sequence_similarity structure.
+func (e *Engine) ScoreMany(q seq.Sequence, ids []int, nThreads int) []float64 {
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	query := e.NewQuery(q, nThreads)
+	out := make([]float64, len(ids))
+	var next int64
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer := e.NewScorer()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				out[i] = scorer.Score(query, ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// AcceptanceThreshold returns the score threshold whose false-positive
+// rate on the supplied negative-pair scores is at most fpRate (e.g.
+// 0.005 for the paper's "<0.5%" operating point). Scores are copied and
+// sorted; the threshold is the smallest score exceeded by at most fpRate
+// of the negatives.
+func AcceptanceThreshold(negativeScores []float64, fpRate float64) float64 {
+	if len(negativeScores) == 0 {
+		return 1
+	}
+	s := append([]float64(nil), negativeScores...)
+	sort.Float64s(s)
+	k := int(float64(len(s)) * (1 - fpRate))
+	if k >= len(s) {
+		k = len(s) - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return s[k]
+}

@@ -1,0 +1,111 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses FASTA records from r. Header lines start with '>'; the
+// first whitespace-delimited token becomes the sequence name. Residue lines
+// are concatenated and validated. Blank lines are ignored.
+func ReadFASTA(r io.Reader) ([]Sequence, error) {
+	var (
+		out     []Sequence
+		name    string
+		haveRec bool
+		body    strings.Builder
+	)
+	flush := func() error {
+		if !haveRec {
+			return nil
+		}
+		s, err := New(name, body.String())
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		body.Reset()
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(text[1:])
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("seq: line %d: empty FASTA header", line)
+			}
+			name = fields[0]
+			haveRec = true
+			continue
+		}
+		if !haveRec {
+			return nil, fmt.Errorf("seq: line %d: residue data before first header", line)
+		}
+		body.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFASTA writes sequences to w in FASTA format, wrapping residue lines
+// at width characters (60 if width <= 0).
+func WriteFASTA(w io.Writer, seqs []Sequence, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name()); err != nil {
+			return err
+		}
+		res := s.Residues()
+		for start := 0; start < len(res); start += width {
+			end := min(start+width, len(res))
+			if _, err := fmt.Fprintf(bw, "%s\n", res[start:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFASTAFile reads a FASTA file from disk.
+func LoadFASTAFile(path string) ([]Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFASTA(f)
+}
+
+// SaveFASTAFile writes sequences to a FASTA file on disk.
+func SaveFASTAFile(path string, seqs []Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFASTA(f, seqs, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,87 @@
+package seq
+
+// ReducedAlphabet maps the 20 amino acids onto a smaller set of classes of
+// biochemically similar residues. The similarity index (package simindex)
+// keys its k-mer seeds on reduced classes so that conservative
+// substitutions (which PAM120 scores positively) still share seeds.
+type ReducedAlphabet struct {
+	name    string
+	classes int
+	class   [NumAminoAcids]uint8
+}
+
+// Name returns the alphabet's identifier.
+func (r *ReducedAlphabet) Name() string { return r.name }
+
+// Classes returns the number of residue classes.
+func (r *ReducedAlphabet) Classes() int { return r.classes }
+
+// Class returns the class of amino-acid index i.
+func (r *ReducedAlphabet) Class(i int) uint8 { return r.class[i] }
+
+// ClassOf returns the class of amino-acid letter c, or 255 if c is not a
+// standard amino acid.
+func (r *ReducedAlphabet) ClassOf(c byte) uint8 {
+	i := Index(c)
+	if i < 0 {
+		return 255
+	}
+	return r.class[i]
+}
+
+// newReduced builds a ReducedAlphabet from groups of residue letters.
+func newReduced(name string, groups []string) *ReducedAlphabet {
+	r := &ReducedAlphabet{name: name, classes: len(groups)}
+	seen := 0
+	for g, letters := range groups {
+		for i := 0; i < len(letters); i++ {
+			r.class[Index(letters[i])] = uint8(g)
+			seen++
+		}
+	}
+	if seen != NumAminoAcids {
+		panic("seq: reduced alphabet does not cover all amino acids")
+	}
+	return r
+}
+
+// Murphy10 returns Murphy et al.'s 10-class reduction, a good balance of
+// sensitivity and selectivity for seeding.
+func Murphy10() *ReducedAlphabet {
+	return newReduced("murphy10", []string{
+		"LVIM", "C", "A", "G", "ST", "P", "FYW", "EDNQ", "KR", "H",
+	})
+}
+
+// Dayhoff6 returns the classic 6-class Dayhoff grouping (more sensitive,
+// less selective seeds than Murphy10).
+func Dayhoff6() *ReducedAlphabet {
+	return newReduced("dayhoff6", []string{
+		"AGPST", "C", "DENQ", "FWY", "HKR", "ILMV",
+	})
+}
+
+// Identity20 returns the trivial 20-class alphabet (exact-match seeds).
+func Identity20() *ReducedAlphabet {
+	groups := make([]string, NumAminoAcids)
+	for i := 0; i < NumAminoAcids; i++ {
+		groups[i] = string(Alphabet[i])
+	}
+	return newReduced("identity20", groups)
+}
+
+// ReduceKmer packs the reduced classes of the k residues starting at
+// position pos of s into a single uint64 key (base = number of classes).
+// It returns ok=false if any residue is invalid. k must satisfy
+// classes^k <= 2^64, which holds for all alphabets here with k <= 12.
+func (r *ReducedAlphabet) ReduceKmer(s string, pos, k int) (key uint64, ok bool) {
+	base := uint64(r.classes)
+	for i := 0; i < k; i++ {
+		c := r.ClassOf(s[pos+i])
+		if c == 255 {
+			return 0, false
+		}
+		key = key*base + uint64(c)
+	}
+	return key, true
+}

@@ -1,0 +1,100 @@
+package seq
+
+import "testing"
+
+func TestReducedAlphabetsCoverAll(t *testing.T) {
+	for _, r := range []*ReducedAlphabet{Murphy10(), Dayhoff6(), Identity20()} {
+		for i := 0; i < NumAminoAcids; i++ {
+			c := r.Class(i)
+			if int(c) >= r.Classes() {
+				t.Errorf("%s: class(%c) = %d out of range %d", r.Name(), Letter(i), c, r.Classes())
+			}
+		}
+	}
+}
+
+func TestReducedClassCounts(t *testing.T) {
+	if got := Murphy10().Classes(); got != 10 {
+		t.Errorf("Murphy10 classes = %d", got)
+	}
+	if got := Dayhoff6().Classes(); got != 6 {
+		t.Errorf("Dayhoff6 classes = %d", got)
+	}
+	if got := Identity20().Classes(); got != 20 {
+		t.Errorf("Identity20 classes = %d", got)
+	}
+}
+
+func TestReducedGroupsBiochemical(t *testing.T) {
+	m := Murphy10()
+	// L, V, I, M are one hydrophobic class.
+	if m.ClassOf('L') != m.ClassOf('V') || m.ClassOf('I') != m.ClassOf('M') || m.ClassOf('L') != m.ClassOf('I') {
+		t.Error("Murphy10: LVIM not grouped")
+	}
+	// K and R basic together; E and D acidic/amide together.
+	if m.ClassOf('K') != m.ClassOf('R') {
+		t.Error("Murphy10: KR not grouped")
+	}
+	if m.ClassOf('E') != m.ClassOf('D') {
+		t.Error("Murphy10: ED not grouped")
+	}
+	// C alone.
+	for i := 0; i < NumAminoAcids; i++ {
+		if Letter(i) != 'C' && m.Class(i) == m.ClassOf('C') {
+			t.Errorf("Murphy10: %c shares class with C", Letter(i))
+		}
+	}
+}
+
+func TestClassOfInvalid(t *testing.T) {
+	if Murphy10().ClassOf('X') != 255 {
+		t.Error("ClassOf invalid != 255")
+	}
+}
+
+func TestIdentityDistinct(t *testing.T) {
+	id := Identity20()
+	seen := map[uint8]bool{}
+	for i := 0; i < NumAminoAcids; i++ {
+		c := id.Class(i)
+		if seen[c] {
+			t.Fatalf("Identity20 reuses class %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestReduceKmer(t *testing.T) {
+	m := Murphy10()
+	// Same reduced classes => same key even for different residues.
+	k1, ok1 := m.ReduceKmer("LVIM", 0, 4)
+	k2, ok2 := m.ReduceKmer("VLMI", 0, 4)
+	if !ok1 || !ok2 {
+		t.Fatal("ReduceKmer failed on valid input")
+	}
+	if k1 != k2 {
+		t.Error("LVIM and VLMI should share a Murphy10 seed key")
+	}
+	k3, _ := m.ReduceKmer("LVIK", 0, 4)
+	if k3 == k1 {
+		t.Error("distinct classes produced equal keys")
+	}
+	if _, ok := m.ReduceKmer("LXIM", 0, 4); ok {
+		t.Error("ReduceKmer accepted invalid residue")
+	}
+}
+
+func TestReduceKmerPositional(t *testing.T) {
+	id := Identity20()
+	s := "ARNDA"
+	kA, _ := id.ReduceKmer(s, 0, 2) // AR
+	kB, _ := id.ReduceKmer(s, 3, 2) // DA
+	if kA == kB {
+		t.Error("different windows produced identical identity keys")
+	}
+	// Key is deterministic.
+	kA2, _ := id.ReduceKmer(s, 0, 2)
+	if kA != kA2 {
+		t.Error("ReduceKmer not deterministic")
+	}
+}

@@ -1,0 +1,273 @@
+// Package seq provides the protein-sequence substrate used throughout
+// InSiPS-Go: the 20-letter amino-acid alphabet, validated sequence values,
+// random sequence generation with configurable residue composition, and
+// reduced alphabets used for similarity-search seeding.
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Alphabet is the canonical ordering of the 20 standard amino acids.
+// It matches the row/column order of the PAM and BLOSUM matrices in
+// package submat.
+const Alphabet = "ARNDCQEGHILKMFPSTWYV"
+
+// NumAminoAcids is the size of the standard amino-acid alphabet.
+const NumAminoAcids = len(Alphabet)
+
+// aaIndex maps an amino-acid letter (upper case) to its index in Alphabet,
+// or -1 for any other byte.
+var aaIndex [256]int8
+
+func init() {
+	for i := range aaIndex {
+		aaIndex[i] = -1
+	}
+	for i := 0; i < len(Alphabet); i++ {
+		aaIndex[Alphabet[i]] = int8(i)
+		aaIndex[Alphabet[i]+'a'-'A'] = int8(i)
+	}
+}
+
+// Index returns the alphabet index of the amino acid letter c, or -1 if c
+// is not one of the 20 standard amino acids (case-insensitive).
+func Index(c byte) int { return int(aaIndex[c]) }
+
+// Letter returns the amino-acid letter for alphabet index i.
+// It panics if i is out of range.
+func Letter(i int) byte {
+	if i < 0 || i >= NumAminoAcids {
+		panic(fmt.Sprintf("seq: amino acid index %d out of range", i))
+	}
+	return Alphabet[i]
+}
+
+// Valid reports whether every byte of s is a standard amino-acid letter.
+func Valid(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if aaIndex[s[i]] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sequence is an immutable protein sequence: a name plus a validated,
+// upper-case residue string.
+type Sequence struct {
+	name     string
+	residues string
+}
+
+// New creates a Sequence after validating and upper-casing residues.
+// It returns an error naming the first invalid byte, if any.
+func New(name, residues string) (Sequence, error) {
+	up := strings.ToUpper(residues)
+	for i := 0; i < len(up); i++ {
+		if aaIndex[up[i]] < 0 {
+			return Sequence{}, fmt.Errorf("seq: %q position %d: invalid amino acid %q", name, i, up[i])
+		}
+	}
+	return Sequence{name: name, residues: up}, nil
+}
+
+// MustNew is New but panics on invalid input. Intended for literals in
+// tests and examples.
+func MustNew(name, residues string) Sequence {
+	s, err := New(name, residues)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the protein's identifier (e.g. a systematic yeast name).
+func (s Sequence) Name() string { return s.name }
+
+// Residues returns the residue string.
+func (s Sequence) Residues() string { return s.residues }
+
+// Len returns the number of residues.
+func (s Sequence) Len() int { return len(s.residues) }
+
+// At returns the residue at position i.
+func (s Sequence) At(i int) byte { return s.residues[i] }
+
+// IndexAt returns the alphabet index of the residue at position i.
+func (s Sequence) IndexAt(i int) int { return int(aaIndex[s.residues[i]]) }
+
+// Window returns the length-w window starting at position i as a string.
+// It panics if the window falls outside the sequence.
+func (s Sequence) Window(i, w int) string { return s.residues[i : i+w] }
+
+// NumWindows returns the number of length-w windows in s
+// (zero when the sequence is shorter than w).
+func (s Sequence) NumWindows(w int) int {
+	if s.Len() < w {
+		return 0
+	}
+	return s.Len() - w + 1
+}
+
+// WithName returns a copy of s renamed to name.
+func (s Sequence) WithName(name string) Sequence {
+	return Sequence{name: name, residues: s.residues}
+}
+
+// String implements fmt.Stringer as "name (len aa)".
+func (s Sequence) String() string {
+	return fmt.Sprintf("%s (%d aa)", s.name, s.Len())
+}
+
+// Indices returns the residue string converted to alphabet indices.
+// The returned slice is freshly allocated.
+func (s Sequence) Indices() []int8 {
+	idx := make([]int8, len(s.residues))
+	for i := 0; i < len(s.residues); i++ {
+		idx[i] = aaIndex[s.residues[i]]
+	}
+	return idx
+}
+
+// Composition holds per-amino-acid frequencies indexed like Alphabet.
+// Frequencies need not be normalized; generation normalizes internally.
+type Composition [NumAminoAcids]float64
+
+// UniformComposition returns a composition assigning equal weight to each
+// amino acid.
+func UniformComposition() Composition {
+	var c Composition
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+// YeastComposition returns approximate amino-acid frequencies of the
+// S. cerevisiae proteome (per mille, from SGD codon-usage statistics).
+// Used by the synthetic proteome generator so random sequences have a
+// realistic residue mix.
+func YeastComposition() Composition {
+	// Order: A R N D C Q E G H I L K M F P S T W Y V
+	return Composition{
+		55, 44, 61, 58, 13, 39, 64, 50, 22, 65,
+		95, 73, 21, 45, 44, 90, 59, 10, 34, 56,
+	}
+}
+
+// Normalize returns a copy of c scaled to sum to 1. A zero composition
+// normalizes to uniform.
+func (c Composition) Normalize() Composition {
+	var sum float64
+	for _, v := range c {
+		sum += v
+	}
+	if sum <= 0 {
+		return UniformComposition().Normalize()
+	}
+	var out Composition
+	for i, v := range c {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Of computes the empirical composition of s.
+func Of(s Sequence) Composition {
+	var c Composition
+	for i := 0; i < s.Len(); i++ {
+		c[s.IndexAt(i)]++
+	}
+	return c
+}
+
+// Sampler draws amino acids from a fixed composition using a cumulative
+// table. It is safe for concurrent use as long as each goroutine supplies
+// its own *rand.Rand.
+type Sampler struct {
+	cum [NumAminoAcids]float64
+}
+
+// NewSampler builds a sampler for composition c.
+func NewSampler(c Composition) *Sampler {
+	n := c.Normalize()
+	var s Sampler
+	acc := 0.0
+	for i, v := range n {
+		acc += v
+		s.cum[i] = acc
+	}
+	s.cum[NumAminoAcids-1] = 1 // guard against rounding
+	return &s
+}
+
+// Draw returns a random amino-acid letter.
+func (s *Sampler) Draw(rng *rand.Rand) byte {
+	u := rng.Float64()
+	for i, c := range s.cum {
+		if u <= c {
+			return Alphabet[i]
+		}
+	}
+	return Alphabet[NumAminoAcids-1]
+}
+
+// Random generates a random sequence of length n drawn from composition c.
+func Random(rng *rand.Rand, name string, n int, c Composition) Sequence {
+	sampler := NewSampler(c)
+	return RandomFrom(rng, name, n, sampler)
+}
+
+// RandomFrom is Random with a pre-built sampler, avoiding repeated
+// cumulative-table construction in hot loops.
+func RandomFrom(rng *rand.Rand, name string, n int, sampler *Sampler) Sequence {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = sampler.Draw(rng)
+	}
+	return Sequence{name: name, residues: string(b)}
+}
+
+// Mutate returns a copy of s in which each residue is independently
+// replaced, with probability rate, by a random amino acid drawn from the
+// sampler. This is the paper's p_mutate_aa spot mutation.
+func Mutate(rng *rand.Rand, s Sequence, rate float64, sampler *Sampler) Sequence {
+	b := []byte(s.residues)
+	for i := range b {
+		if rng.Float64() < rate {
+			b[i] = sampler.Draw(rng)
+		}
+	}
+	return Sequence{name: s.name, residues: string(b)}
+}
+
+// Crossover cuts a and b at a shared random cut point (kept at least
+// margin residues away from either end of both sequences) and exchanges
+// tails, returning the two hybrids. If the sequences are too short for the
+// margin the parents are returned unchanged.
+func Crossover(rng *rand.Rand, a, b Sequence, margin int) (Sequence, Sequence) {
+	maxCut := min(a.Len(), b.Len()) - margin
+	if margin < 1 || maxCut <= margin {
+		return a, b
+	}
+	cut := margin + rng.Intn(maxCut-margin)
+	ab := a.residues[:cut] + b.residues[cut:]
+	ba := b.residues[:cut] + a.residues[cut:]
+	return Sequence{name: a.name, residues: ab}, Sequence{name: b.name, residues: ba}
+}
+
+// Hamming returns the number of positions at which a and b differ,
+// plus the absolute length difference.
+func Hamming(a, b Sequence) int {
+	n := min(a.Len(), b.Len())
+	d := a.Len() + b.Len() - 2*n
+	for i := 0; i < n; i++ {
+		if a.residues[i] != b.residues[i] {
+			d++
+		}
+	}
+	return d
+}

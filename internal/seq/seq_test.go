@@ -1,0 +1,298 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphabetRoundTrip(t *testing.T) {
+	if NumAminoAcids != 20 {
+		t.Fatalf("NumAminoAcids = %d, want 20", NumAminoAcids)
+	}
+	for i := 0; i < NumAminoAcids; i++ {
+		c := Letter(i)
+		if got := Index(c); got != i {
+			t.Errorf("Index(Letter(%d)) = %d", i, got)
+		}
+		// Lower case maps to the same index.
+		if got := Index(c + 'a' - 'A'); got != i {
+			t.Errorf("lower-case Index(%c) = %d, want %d", c+'a'-'A', got, i)
+		}
+	}
+}
+
+func TestIndexInvalid(t *testing.T) {
+	for _, c := range []byte{'B', 'J', 'O', 'U', 'X', 'Z', '*', '-', ' ', 0} {
+		if Index(c) != -1 {
+			t.Errorf("Index(%q) = %d, want -1", c, Index(c))
+		}
+	}
+}
+
+func TestLetterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Letter(-1) did not panic")
+		}
+	}()
+	Letter(-1)
+}
+
+func TestNewValidation(t *testing.T) {
+	s, err := New("P1", "acdefg")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Residues() != "ACDEFG" {
+		t.Errorf("Residues = %q, want upper-cased", s.Residues())
+	}
+	_, errX := New("P2", "ACDX")
+	if errX == nil {
+		t.Fatal("New accepted invalid residue X")
+	}
+	if !strings.Contains(errX.Error(), "position 3") {
+		t.Error("error does not name offending position")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid("ARNDCQEGHILKMFPSTWYV") {
+		t.Error("Valid rejected the full alphabet")
+	}
+	if Valid("ABC") {
+		t.Error("Valid accepted B")
+	}
+	if !Valid("") {
+		t.Error("Valid rejected empty string")
+	}
+}
+
+func TestSequenceAccessors(t *testing.T) {
+	s := MustNew("YAL001C", "MKTAYIAK")
+	if s.Name() != "YAL001C" || s.Len() != 8 {
+		t.Fatalf("accessors: %v %d", s.Name(), s.Len())
+	}
+	if s.At(0) != 'M' || s.At(7) != 'K' {
+		t.Error("At wrong")
+	}
+	if s.Window(2, 3) != "TAY" {
+		t.Errorf("Window = %q", s.Window(2, 3))
+	}
+	if s.IndexAt(0) != Index('M') {
+		t.Error("IndexAt wrong")
+	}
+	if got := s.WithName("X").Name(); got != "X" {
+		t.Errorf("WithName = %q", got)
+	}
+	if s.String() != "YAL001C (8 aa)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestNumWindows(t *testing.T) {
+	s := MustNew("p", "AAAAA")
+	cases := []struct{ w, want int }{{1, 5}, {2, 4}, {5, 1}, {6, 0}, {100, 0}}
+	for _, c := range cases {
+		if got := s.NumWindows(c.w); got != c.want {
+			t.Errorf("NumWindows(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestIndices(t *testing.T) {
+	s := MustNew("p", "AR")
+	idx := s.Indices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("Indices = %v", idx)
+	}
+}
+
+func TestCompositionNormalize(t *testing.T) {
+	c := YeastComposition().Normalize()
+	var sum float64
+	for _, v := range c {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("normalized sum = %f", sum)
+	}
+	var zero Composition
+	n := zero.Normalize()
+	for _, v := range n {
+		if v != 1.0/20 {
+			t.Fatalf("zero composition normalized to %v", n)
+		}
+	}
+}
+
+func TestSamplerRespectsComposition(t *testing.T) {
+	var c Composition
+	c[Index('A')] = 3
+	c[Index('W')] = 1
+	rng := rand.New(rand.NewSource(1))
+	s := NewSampler(c)
+	counts := map[byte]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[s.Draw(rng)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("sampler drew letters outside support: %v", counts)
+	}
+	frac := float64(counts['A']) / n
+	if frac < 0.72 || frac > 0.78 {
+		t.Errorf("P(A) = %f, want ~0.75", frac)
+	}
+}
+
+func TestRandomSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Random(rng, "rand1", 300, UniformComposition())
+	if s.Len() != 300 || s.Name() != "rand1" {
+		t.Fatalf("Random: %v", s)
+	}
+	if !Valid(s.Residues()) {
+		t.Error("Random produced invalid residues")
+	}
+}
+
+func TestRandomDeterministicUnderSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(42)), "a", 100, YeastComposition())
+	b := Random(rand.New(rand.NewSource(42)), "b", 100, YeastComposition())
+	if a.Residues() != b.Residues() {
+		t.Error("same seed produced different sequences")
+	}
+	c := Random(rand.New(rand.NewSource(43)), "c", 100, YeastComposition())
+	if a.Residues() == c.Residues() {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestMutateRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sampler := NewSampler(UniformComposition())
+	s := Random(rng, "base", 2000, UniformComposition())
+	m := Mutate(rng, s, 0.05, sampler)
+	if m.Len() != s.Len() {
+		t.Fatal("Mutate changed length")
+	}
+	d := Hamming(s, m)
+	// Expected changed fraction is 0.05 * 19/20 = 0.0475.
+	if d < 40 || d > 160 {
+		t.Errorf("Hamming after 5%% mutation of 2000 = %d", d)
+	}
+	z := Mutate(rng, s, 0, sampler)
+	if Hamming(s, z) != 0 {
+		t.Error("zero-rate mutation changed residues")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := MustNew("a", strings.Repeat("A", 50))
+	b := MustNew("b", strings.Repeat("V", 50))
+	x, y := Crossover(rng, a, b, 5)
+	if x.Len() != 50 || y.Len() != 50 {
+		t.Fatalf("crossover lengths %d %d", x.Len(), y.Len())
+	}
+	// x must be A-prefix then V-suffix with cut in [5,45).
+	cut := strings.IndexByte(x.Residues(), 'V')
+	if cut < 5 || cut >= 45 {
+		t.Errorf("cut point %d outside margin", cut)
+	}
+	if x.Residues()[:cut] != strings.Repeat("A", cut) {
+		t.Error("x prefix not from a")
+	}
+	if y.Residues() != strings.Repeat("V", cut)+strings.Repeat("A", 50-cut) {
+		t.Error("y is not the complementary hybrid")
+	}
+}
+
+func TestCrossoverTooShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := MustNew("a", "AAAA")
+	b := MustNew("b", "VVVV")
+	x, y := Crossover(rng, a, b, 10)
+	if x.Residues() != a.Residues() || y.Residues() != b.Residues() {
+		t.Error("short-sequence crossover should return parents unchanged")
+	}
+}
+
+func TestCrossoverUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := MustNew("a", strings.Repeat("A", 30))
+	b := MustNew("b", strings.Repeat("V", 100))
+	for i := 0; i < 50; i++ {
+		x, y := Crossover(rng, a, b, 3)
+		if x.Len()+y.Len() != 130 {
+			t.Fatalf("total length changed: %d + %d", x.Len(), y.Len())
+		}
+		if !Valid(x.Residues()) || !Valid(y.Residues()) {
+			t.Fatal("invalid hybrid")
+		}
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := MustNew("a", "AAAA")
+	b := MustNew("b", "AAVV")
+	if Hamming(a, b) != 2 {
+		t.Errorf("Hamming = %d, want 2", Hamming(a, b))
+	}
+	c := MustNew("c", "AAAAAA")
+	if Hamming(a, c) != 2 { // 0 mismatches + 2 length diff
+		t.Errorf("Hamming with length diff = %d, want 2", Hamming(a, c))
+	}
+	if Hamming(a, a) != 0 {
+		t.Error("self Hamming nonzero")
+	}
+}
+
+// Property: crossover preserves multiset of residues when parents have
+// equal length? Not true (tails swap), but total composition of the two
+// children equals total composition of the two parents.
+func TestCrossoverConservesComposition(t *testing.T) {
+	f := func(seedRaw int64, la, lb uint8) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		na := 20 + int(la)%200
+		nb := 20 + int(lb)%200
+		a := Random(rng, "a", na, YeastComposition())
+		b := Random(rng, "b", nb, YeastComposition())
+		x, y := Crossover(rng, a, b, 5)
+		before := Of(a)
+		bb := Of(b)
+		for i := range before {
+			before[i] += bb[i]
+		}
+		after := Of(x)
+		ay := Of(y)
+		for i := range after {
+			after[i] += ay[i]
+		}
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mutate with rate 1 draws every residue from the sampler, so
+// result is always valid and same length.
+func TestMutatePropertyValid(t *testing.T) {
+	sampler := NewSampler(YeastComposition())
+	f := func(seedRaw int64, rate float64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		r := rate - float64(int(rate)) // into [0,1)
+		if r < 0 {
+			r = -r
+		}
+		s := Random(rng, "s", 1+int(n), YeastComposition())
+		m := Mutate(rng, s, r, sampler)
+		return m.Len() == s.Len() && Valid(m.Residues())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package simindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestAlternativeAlphabets(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	prots := makeProteome(t, rng, 6, 120, 0.08)
+	for _, alpha := range []*seq.ReducedAlphabet{seq.Dayhoff6(), seq.Identity20()} {
+		ix, err := Build(prots, Config{Window: 20, Threshold: 35, Reduced: alpha})
+		if err != nil {
+			t.Fatalf("%s: %v", alpha.Name(), err)
+		}
+		// Exact self window must always be found (it shares every seed).
+		q := prots[0].Indices()
+		hits := ix.SimilarWindows(q, 10)
+		found := false
+		for _, h := range hits {
+			if h.Protein == 0 && h.Pos == 10 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: self window not found", alpha.Name())
+		}
+		// Seeded hits remain a subset of brute force.
+		brute := map[Hit]bool{}
+		for _, h := range ix.BruteSimilarWindows(q, 10) {
+			brute[h] = true
+		}
+		for _, h := range hits {
+			if !brute[h] {
+				t.Errorf("%s: hit %+v not in brute-force set", alpha.Name(), h)
+			}
+		}
+	}
+}
+
+func TestBoundaryWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	prots := makeProteome(t, rng, 4, 60, 0.05) // short proteins: 41 windows
+	ix, err := Build(prots, Config{Window: 20, Threshold: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := prots[1].Indices()
+	// First and last windows both query cleanly and find their own
+	// protein's exact positions.
+	for _, pos := range []int{0, len(q) - 20} {
+		hits := ix.SimilarWindows(q, pos)
+		found := false
+		for _, h := range hits {
+			if h.Protein == 1 && int(h.Pos) == pos {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("boundary window at %d not self-found", pos)
+		}
+	}
+}
+
+func TestHitScoresMatchDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prots := makeProteome(t, rng, 5, 100, 0.1)
+	ix, _ := Build(prots, Config{Window: 20, Threshold: 30})
+	q := prots[0].Indices()
+	for _, h := range ix.SimilarWindows(q, 5) {
+		want := ix.Config().Matrix.WindowScoreIdx(q, 5, prots[h.Protein].Indices(), int(h.Pos), 20)
+		if int(h.Score) != want {
+			t.Fatalf("hit score %d != recomputed %d", h.Score, want)
+		}
+	}
+}
+
+func TestProfileScoresAreBestPerPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	prots := makeProteome(t, rng, 5, 150, 0.1)
+	ix, _ := Build(prots, Config{Window: 20, Threshold: 30})
+	q := prots[2]
+	prof := ix.SequenceSimilarity(q, 2)
+	qidx := q.Indices()
+	for id, entries := range prof {
+		for _, e := range entries {
+			// The stored score must equal the best hit of that window
+			// against this protein.
+			best := 0
+			for _, h := range ix.SimilarWindows(qidx, int(e.Pos)) {
+				if h.Protein == id && int(h.Score) > best {
+					best = int(h.Score)
+				}
+			}
+			if int(e.Score) != best {
+				t.Fatalf("protein %d pos %d: stored %d, best hit %d", id, e.Pos, e.Score, best)
+			}
+		}
+	}
+}

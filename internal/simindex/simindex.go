@@ -1,0 +1,300 @@
+// Package simindex implements the window-similarity search that PIPE's
+// first step requires (paper Section 2.2): given a length-w protein
+// fragment, find every protein in the proteome containing a fragment whose
+// PAM120 score against it is above a tunable threshold.
+//
+// Brute force compares the query window against every window of every
+// protein; the index instead seeds candidates BLAST-style with
+// reduced-alphabet k-mers (conservative substitutions share seeds) and
+// verifies candidates with the exact PAM120 window score, returning the
+// same hits at a fraction of the cost. This structure is the "PIPE
+// similarity database and index" that the master broadcasts to the
+// workers (Section 2.3); it is immutable after Build and safe for
+// concurrent readers.
+package simindex
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/seq"
+	"repro/internal/submat"
+)
+
+// Config controls index construction and query-time verification.
+type Config struct {
+	// Window is the PIPE sliding-window size w. Default 20.
+	Window int
+	// SeedLen is the reduced-alphabet k-mer length used for candidate
+	// generation. Default 5.
+	SeedLen int
+	// Threshold is the minimum ungapped PAM120 (or chosen matrix) window
+	// score for two fragments to count as similar. Default 35, PIPE's
+	// published operating point for w=20.
+	Threshold int
+	// Matrix is the substitution matrix. Default PAM120.
+	Matrix *submat.Matrix
+	// Reduced is the seeding alphabet. Default Murphy10.
+	Reduced *seq.ReducedAlphabet
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 20
+	}
+	if c.SeedLen == 0 {
+		c.SeedLen = 5
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 35
+	}
+	if c.Matrix == nil {
+		c.Matrix = submat.PAM120()
+	}
+	if c.Reduced == nil {
+		c.Reduced = seq.Murphy10()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Window < 2 {
+		return fmt.Errorf("simindex: window %d too small", c.Window)
+	}
+	if c.SeedLen < 1 || c.SeedLen > c.Window {
+		return fmt.Errorf("simindex: seed length %d invalid for window %d", c.SeedLen, c.Window)
+	}
+	if c.SeedLen > 12 {
+		return fmt.Errorf("simindex: seed length %d overflows key space", c.SeedLen)
+	}
+	return nil
+}
+
+// WinRef identifies one length-w window: protein ID and start position.
+type WinRef struct {
+	Protein int32
+	Pos     int32
+}
+
+// Hit is one verified similar window: where it is and its exact
+// substitution-matrix score against the query window.
+type Hit struct {
+	Protein int32
+	Pos     int32
+	Score   int32
+}
+
+// Index is the immutable seeded window index over a fixed proteome.
+type Index struct {
+	cfg      Config
+	proteins []seq.Sequence
+	indices  [][]int8 // residue alphabet indices per protein
+	buckets  map[uint64][]WinRef
+	posCount int // total indexed k-mer positions
+}
+
+// Build indexes the proteome. Protein IDs are positions in the slice.
+func Build(proteins []seq.Sequence, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		cfg:      cfg,
+		proteins: proteins,
+		indices:  make([][]int8, len(proteins)),
+		buckets:  make(map[uint64][]WinRef),
+	}
+	for p, s := range proteins {
+		ix.indices[p] = s.Indices()
+		res := s.Residues()
+		for pos := 0; pos+cfg.SeedLen <= len(res); pos++ {
+			key, ok := cfg.Reduced.ReduceKmer(res, pos, cfg.SeedLen)
+			if !ok {
+				continue
+			}
+			ix.buckets[key] = append(ix.buckets[key], WinRef{Protein: int32(p), Pos: int32(pos)})
+			ix.posCount++
+		}
+	}
+	return ix, nil
+}
+
+// Config returns the configuration the index was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// NumProteins returns the size of the indexed proteome.
+func (ix *Index) NumProteins() int { return len(ix.proteins) }
+
+// Protein returns the indexed sequence with the given ID.
+func (ix *Index) Protein(id int) seq.Sequence { return ix.proteins[id] }
+
+// NumSeedPositions returns the total number of indexed k-mer positions
+// (a size diagnostic).
+func (ix *Index) NumSeedPositions() int { return ix.posCount }
+
+// SimilarWindows returns every window in the proteome scoring >=
+// Threshold against the query window (given as residue indices; use
+// seq.Sequence.Indices), with its exact score. Results are sorted by
+// protein then position and deduplicated.
+func (ix *Index) SimilarWindows(query []int8, qpos int) []Hit {
+	w, k := ix.cfg.Window, ix.cfg.SeedLen
+	qres := make([]byte, w)
+	for i := 0; i < w; i++ {
+		qres[i] = seq.Letter(int(query[qpos+i]))
+	}
+	seen := make(map[WinRef]struct{})
+	var hits []Hit
+	for off := 0; off+k <= w; off++ {
+		key, ok := ix.cfg.Reduced.ReduceKmer(string(qres), off, k)
+		if !ok {
+			continue
+		}
+		for _, ref := range ix.buckets[key] {
+			start := int(ref.Pos) - off
+			if start < 0 {
+				continue
+			}
+			target := ix.indices[ref.Protein]
+			if start+w > len(target) {
+				continue
+			}
+			cand := WinRef{Protein: ref.Protein, Pos: int32(start)}
+			if _, dup := seen[cand]; dup {
+				continue
+			}
+			seen[cand] = struct{}{}
+			if score := ix.cfg.Matrix.WindowScoreIdx(query, qpos, target, start, w); score >= ix.cfg.Threshold {
+				hits = append(hits, Hit{Protein: ref.Protein, Pos: int32(start), Score: int32(score)})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Protein != hits[j].Protein {
+			return hits[i].Protein < hits[j].Protein
+		}
+		return hits[i].Pos < hits[j].Pos
+	})
+	return hits
+}
+
+// BruteSimilarWindows is the exhaustive reference implementation of
+// SimilarWindows (used in tests and the seeding ablation).
+func (ix *Index) BruteSimilarWindows(query []int8, qpos int) []Hit {
+	w := ix.cfg.Window
+	var hits []Hit
+	for p, target := range ix.indices {
+		for start := 0; start+w <= len(target); start++ {
+			if score := ix.cfg.Matrix.WindowScoreIdx(query, qpos, target, start, w); score >= ix.cfg.Threshold {
+				hits = append(hits, Hit{Protein: int32(p), Pos: int32(start), Score: int32(score)})
+			}
+		}
+	}
+	return hits
+}
+
+// PosScore is one profile entry: a query window position and the best
+// similarity score between that window and any window of the profiled
+// protein.
+type PosScore struct {
+	Pos   int32
+	Score int32
+}
+
+// Profile maps a proteome protein ID to the sorted query window positions
+// similar to at least one window of that protein, each carrying the best
+// similarity score. It is the per-candidate "sequence_similarity" data
+// structure of Algorithm 2.
+type Profile map[int32][]PosScore
+
+// SimilarProteins returns the sorted IDs of proteins with any similar
+// window.
+func (p Profile) SimilarProteins() []int32 {
+	out := make([]int32, 0, len(p))
+	for id := range p {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SequenceSimilarity computes the Profile of query against the proteome
+// using nThreads parallel workers over the query's windows (nThreads <= 0
+// means GOMAXPROCS). This mirrors the "build specified portion of
+// sequence_similarity ... in parallel" step of Algorithm 2.
+func (ix *Index) SequenceSimilarity(query seq.Sequence, nThreads int) Profile {
+	return ix.sequenceSimilarity(query, nThreads, (*Index).SimilarWindows)
+}
+
+// BruteSequenceSimilarity is SequenceSimilarity using the exhaustive
+// search; for tests and the seeding ablation.
+func (ix *Index) BruteSequenceSimilarity(query seq.Sequence, nThreads int) Profile {
+	return ix.sequenceSimilarity(query, nThreads, (*Index).BruteSimilarWindows)
+}
+
+func (ix *Index) sequenceSimilarity(query seq.Sequence, nThreads int, search func(*Index, []int8, int) []Hit) Profile {
+	w := ix.cfg.Window
+	nw := query.NumWindows(w)
+	if nw <= 0 {
+		return Profile{}
+	}
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	if nThreads > nw {
+		nThreads = nw
+	}
+	qidx := query.Indices()
+	partial := make([]Profile, nThreads)
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			prof := make(Profile)
+			for i := t; i < nw; i += nThreads {
+				for _, hit := range search(ix, qidx, i) {
+					list := prof[hit.Protein]
+					if n := len(list); n > 0 && list[n-1].Pos == int32(i) {
+						// Same query window, another similar window of the
+						// same protein: keep the best score.
+						if hit.Score > list[n-1].Score {
+							list[n-1].Score = hit.Score
+						}
+						prof[hit.Protein] = list
+					} else {
+						prof[hit.Protein] = append(list, PosScore{Pos: int32(i), Score: hit.Score})
+					}
+				}
+			}
+			partial[t] = prof
+		}(t)
+	}
+	wg.Wait()
+	merged := make(Profile)
+	for _, prof := range partial {
+		for id, positions := range prof {
+			merged[id] = append(merged[id], positions...)
+		}
+	}
+	for id := range merged {
+		s := merged[id]
+		sort.Slice(s, func(i, j int) bool { return s[i].Pos < s[j].Pos })
+		// Deduplicate by position, keeping the best score (strided workers
+		// cannot duplicate, but keep the invariant explicit).
+		out := s[:0]
+		for i, v := range s {
+			if i > 0 && out[len(out)-1].Pos == v.Pos {
+				if v.Score > out[len(out)-1].Score {
+					out[len(out)-1].Score = v.Score
+				}
+				continue
+			}
+			out = append(out, v)
+		}
+		merged[id] = out
+	}
+	return merged
+}

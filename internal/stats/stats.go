@@ -1,0 +1,178 @@
+// Package stats provides the small numeric and formatting helpers shared
+// by the experiment harness: summary statistics, aligned text tables for
+// the paper's Tables 1-5, and gnuplot-style data series for its figures.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MinMax returns the smallest and largest values of xs
+// (zeros for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Table builds an aligned plain-text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddFloats appends a row with a label followed by formatted floats.
+func (t *Table) AddFloats(label string, format string, values ...float64) {
+	cells := []string{label}
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named data series for a figure: parallel X and Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// WriteSeries emits series as gnuplot-friendly data: a comment naming
+// each series, x/y pairs, blank lines between series.
+func WriteSeries(w io.Writer, series ...Series) error {
+	for i, s := range series {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Name); err != nil {
+			return err
+		}
+		for j := range s.X {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", s.X[j], s.Y[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sparkline renders ys as a one-line unicode mini-chart (for terminal
+// figure previews).
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	min, max := MinMax(ys)
+	span := max - min
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if span > 0 {
+			idx = int((y - min) / span * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-value stddev")
+	}
+	if got := StdDev([]float64{2, 4}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %f", got)
+	}
+	if StdDev([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant stddev nonzero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %f,%f", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("empty MinMax")
+	}
+}
+
+func TestStdDevProperty(t *testing.T) {
+	// Shifting data must not change stddev; scaling scales it.
+	f := func(raw []float64, shiftRaw int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) || math.Abs(r) > 1e6 {
+				return true
+			}
+			xs = append(xs, r)
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		return math.Abs(StdDev(xs)-StdDev(shifted)) < 1e-6*(1+StdDev(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Parameters", "Seed 1", "Seed 2")
+	tab.AddRow("Set 1", "0.3564", "0.3584")
+	tab.AddFloats("Set 2", "%.4f", 0.2852, 0.3549)
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Parameters") || !strings.Contains(lines[3], "0.2852") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	// Columns aligned: header and data rows have identical widths up to
+	// the first two columns.
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator width differs from header")
+	}
+}
+
+func TestTableRowClamping(t *testing.T) {
+	tab := NewTable("A", "B")
+	tab.AddRow("1", "2", "3") // extra cell dropped
+	tab.AddRow("only")        // missing cell rendered empty
+	out := tab.String()
+	if strings.Contains(out, "3") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s1 := Series{Name: "easy"}
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := Series{Name: "hard"}
+	s2.Add(1, 100)
+	if err := WriteSeries(&buf, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# easy") || !strings.Contains(out, "# hard") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "2\t20") {
+		t.Errorf("missing data point:\n%s", out)
+	}
+	if !strings.Contains(out, "\n\n#") {
+		t.Error("series not separated by blank line")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Errorf("sparkline rune count %d", utf8.RuneCountInString(s))
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Error("flat sparkline wrong length")
+	}
+	// Monotone input gives the lowest glyph first, highest last.
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("sparkline shape wrong: %q", s)
+	}
+}

@@ -1,0 +1,174 @@
+// Package submat provides amino-acid substitution matrices (PAM120 and
+// BLOSUM62) and windowed similarity scoring. The paper's PIPE fitness
+// function judges two protein fragments "similar" when their ungapped
+// PAM120 alignment score exceeds a tunable threshold (Section 2.2); the
+// paper explicitly prefers PAM120 over BLOSUM for being more inclusive,
+// and we ship both so the choice can be ablated.
+package submat
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Matrix is a 20x20 substitution matrix over the standard amino-acid
+// alphabet in seq.Alphabet order.
+type Matrix struct {
+	name   string
+	scores [seq.NumAminoAcids][seq.NumAminoAcids]int8
+}
+
+// Name returns the matrix identifier ("PAM120" or "BLOSUM62").
+func (m *Matrix) Name() string { return m.name }
+
+// Score returns the substitution score for amino-acid letters a and b.
+// Non-standard letters score the matrix minimum.
+func (m *Matrix) Score(a, b byte) int {
+	ia, ib := seq.Index(a), seq.Index(b)
+	if ia < 0 || ib < 0 {
+		return int(m.min())
+	}
+	return int(m.scores[ia][ib])
+}
+
+// ScoreIdx returns the substitution score for alphabet indices ia and ib.
+// Both must be valid (0..19); no bounds checking beyond the array's.
+func (m *Matrix) ScoreIdx(ia, ib int) int { return int(m.scores[ia][ib]) }
+
+func (m *Matrix) min() int8 {
+	v := m.scores[0][0]
+	for i := range m.scores {
+		for j := range m.scores[i] {
+			if m.scores[i][j] < v {
+				v = m.scores[i][j]
+			}
+		}
+	}
+	return v
+}
+
+// Max returns the largest score in the matrix (the best self-match).
+func (m *Matrix) Max() int {
+	v := int(m.scores[0][0])
+	for i := range m.scores {
+		for j := range m.scores[i] {
+			if int(m.scores[i][j]) > v {
+				v = int(m.scores[i][j])
+			}
+		}
+	}
+	return v
+}
+
+// WindowScore computes the ungapped alignment score of the length-w
+// fragments a[ai:ai+w] and b[bi:bi+w].
+func (m *Matrix) WindowScore(a string, ai int, b string, bi int, w int) int {
+	s := 0
+	for k := 0; k < w; k++ {
+		s += m.Score(a[ai+k], b[bi+k])
+	}
+	return s
+}
+
+// WindowScoreIdx is WindowScore over pre-converted alphabet indices,
+// the hot path used by the similarity index.
+func (m *Matrix) WindowScoreIdx(a []int8, ai int, b []int8, bi int, w int) int {
+	s := 0
+	for k := 0; k < w; k++ {
+		s += int(m.scores[a[ai+k]][b[bi+k]])
+	}
+	return s
+}
+
+// SelfScore returns the score of the fragment against itself — the
+// maximum any other fragment can reach against it under a matrix whose
+// diagonal dominates (true for PAM120 and BLOSUM62).
+func (m *Matrix) SelfScore(a string, ai, w int) int {
+	s := 0
+	for k := 0; k < w; k++ {
+		c := a[ai+k]
+		s += m.Score(c, c)
+	}
+	return s
+}
+
+// parse fills a Matrix from rows of 20 scores in seq.Alphabet order,
+// verifying symmetry.
+func parse(name string, rows [seq.NumAminoAcids][seq.NumAminoAcids]int8) *Matrix {
+	m := &Matrix{name: name, scores: rows}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != rows[j][i] {
+				panic(fmt.Sprintf("submat: %s not symmetric at (%d,%d)", name, i, j))
+			}
+		}
+	}
+	return m
+}
+
+// PAM120 returns the Dayhoff PAM120 matrix (NCBI scaling), the matrix the
+// paper selects for fragment similarity.
+func PAM120() *Matrix { return pam120 }
+
+// BLOSUM62 returns the BLOSUM62 matrix, the alternative the paper
+// discusses and rejects as conservatively biased.
+func BLOSUM62() *Matrix { return blosum62 }
+
+// ByName returns a matrix by case-sensitive name.
+func ByName(name string) (*Matrix, error) {
+	switch name {
+	case "PAM120":
+		return PAM120(), nil
+	case "BLOSUM62":
+		return BLOSUM62(), nil
+	}
+	return nil, fmt.Errorf("submat: unknown matrix %q", name)
+}
+
+// Row/column order: A R N D C Q E G H I L K M F P S T W Y V
+var pam120 = parse("PAM120", [seq.NumAminoAcids][seq.NumAminoAcids]int8{
+	/* A */ {3, -3, -1, 0, -3, -1, 0, 1, -3, -1, -3, -2, -2, -4, 1, 1, 1, -7, -4, 0},
+	/* R */ {-3, 6, -1, -3, -4, 1, -3, -4, 1, -2, -4, 2, -1, -5, -1, -1, -2, 1, -5, -3},
+	/* N */ {-1, -1, 4, 2, -5, 0, 1, 0, 2, -2, -4, 1, -3, -4, -2, 1, 0, -4, -2, -3},
+	/* D */ {0, -3, 2, 5, -7, 1, 3, 0, 0, -3, -5, -1, -4, -7, -3, 0, -1, -8, -5, -3},
+	/* C */ {-3, -4, -5, -7, 9, -7, -7, -4, -4, -3, -7, -7, -6, -6, -4, 0, -3, -8, -1, -3},
+	/* Q */ {-1, 1, 0, 1, -7, 6, 2, -3, 3, -3, -2, 0, -1, -6, 0, -2, -2, -6, -5, -3},
+	/* E */ {0, -3, 1, 3, -7, 2, 5, -1, -1, -3, -4, -1, -3, -7, -2, -1, -2, -8, -5, -3},
+	/* G */ {1, -4, 0, 0, -4, -3, -1, 5, -4, -4, -5, -3, -4, -5, -2, 1, -1, -8, -6, -2},
+	/* H */ {-3, 1, 2, 0, -4, 3, -1, -4, 7, -4, -3, -2, -4, -3, -1, -2, -3, -3, -1, -3},
+	/* I */ {-1, -2, -2, -3, -3, -3, -3, -4, -4, 6, 1, -3, 1, 0, -3, -2, 0, -6, -2, 3},
+	/* L */ {-3, -4, -4, -5, -7, -2, -4, -5, -3, 1, 5, -4, 3, 0, -3, -4, -3, -3, -2, 1},
+	/* K */ {-2, 2, 1, -1, -7, 0, -1, -3, -2, -3, -4, 5, 0, -7, -2, -1, -1, -5, -5, -4},
+	/* M */ {-2, -1, -3, -4, -6, -1, -3, -4, -4, 1, 3, 0, 8, -1, -3, -2, -1, -6, -4, 1},
+	/* F */ {-4, -5, -4, -7, -6, -6, -7, -5, -3, 0, 0, -7, -1, 8, -5, -3, -4, -1, 4, -3},
+	/* P */ {1, -1, -2, -3, -4, 0, -2, -2, -1, -3, -3, -2, -3, -5, 6, 1, -1, -7, -6, -2},
+	/* S */ {1, -1, 1, 0, 0, -2, -1, 1, -2, -2, -4, -1, -2, -3, 1, 3, 2, -2, -3, -2},
+	/* T */ {1, -2, 0, -1, -3, -2, -2, -1, -3, 0, -3, -1, -1, -4, -1, 2, 4, -6, -3, 0},
+	/* W */ {-7, 1, -4, -8, -8, -6, -8, -8, -3, -6, -3, -5, -6, -1, -7, -2, -6, 12, -2, -8},
+	/* Y */ {-4, -5, -2, -5, -1, -5, -5, -6, -1, -2, -2, -5, -4, 4, -6, -3, -3, -2, 8, -3},
+	/* V */ {0, -3, -3, -3, -3, -3, -3, -2, -3, 3, 1, -4, 1, -3, -2, -2, 0, -8, -3, 5},
+})
+
+var blosum62 = parse("BLOSUM62", [seq.NumAminoAcids][seq.NumAminoAcids]int8{
+	/* A */ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+	/* R */ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+	/* N */ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+	/* D */ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+	/* C */ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+	/* Q */ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+	/* E */ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+	/* G */ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+	/* H */ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+	/* I */ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+	/* L */ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+	/* K */ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+	/* M */ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+	/* F */ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+	/* P */ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+	/* S */ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+	/* T */ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+	/* W */ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+	/* Y */ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+	/* V */ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+})

@@ -1,0 +1,170 @@
+package submat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestMatricesSymmetric(t *testing.T) {
+	// parse panics on asymmetry; a fresh call exercises it.
+	for _, m := range []*Matrix{PAM120(), BLOSUM62()} {
+		for i := 0; i < seq.NumAminoAcids; i++ {
+			for j := 0; j < seq.NumAminoAcids; j++ {
+				if m.ScoreIdx(i, j) != m.ScoreIdx(j, i) {
+					t.Fatalf("%s asymmetric at %d,%d", m.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagonalDominates(t *testing.T) {
+	// Every residue's self-score must be >= any substitution score in its
+	// row — the property SelfScore's doc relies on.
+	for _, m := range []*Matrix{PAM120(), BLOSUM62()} {
+		for i := 0; i < seq.NumAminoAcids; i++ {
+			d := m.ScoreIdx(i, i)
+			for j := 0; j < seq.NumAminoAcids; j++ {
+				if m.ScoreIdx(i, j) > d {
+					t.Errorf("%s: score(%c,%c)=%d > self %d", m.Name(),
+						seq.Letter(i), seq.Letter(j), m.ScoreIdx(i, j), d)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownPAM120Values(t *testing.T) {
+	m := PAM120()
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 3}, {'W', 'W', 12}, {'C', 'C', 9},
+		{'L', 'V', 1}, {'I', 'L', 1}, {'K', 'R', 2},
+		{'W', 'G', -8}, {'D', 'E', 3}, {'F', 'Y', 4},
+	}
+	for _, c := range cases {
+		if got := m.Score(c.a, c.b); got != c.want {
+			t.Errorf("PAM120(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKnownBLOSUM62Values(t *testing.T) {
+	m := BLOSUM62()
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'L', 'V', 1},
+		{'K', 'R', 2}, {'P', 'P', 7}, {'H', 'Y', 2},
+	}
+	for _, c := range cases {
+		if got := m.Score(c.a, c.b); got != c.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestScoreInvalidLetters(t *testing.T) {
+	m := PAM120()
+	if got := m.Score('X', 'A'); got != -8 {
+		t.Errorf("invalid letter scored %d, want matrix min -8", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := PAM120().Max(); got != 12 {
+		t.Errorf("PAM120 max = %d, want 12 (W:W)", got)
+	}
+	if got := BLOSUM62().Max(); got != 11 {
+		t.Errorf("BLOSUM62 max = %d, want 11 (W:W)", got)
+	}
+}
+
+func TestWindowScore(t *testing.T) {
+	m := PAM120()
+	a, b := "AAAA", "AAVA"
+	want := 3 + 3 + 0 + 3
+	if got := m.WindowScore(a, 0, b, 0, 4); got != want {
+		t.Errorf("WindowScore = %d, want %d", got, want)
+	}
+	// Offsets.
+	if got := m.WindowScore("GGAA", 2, "VVAA", 2, 2); got != 6 {
+		t.Errorf("offset WindowScore = %d, want 6", got)
+	}
+}
+
+func TestWindowScoreIdxMatchesWindowScore(t *testing.T) {
+	m := PAM120()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		a := seq.Random(rng, "a", 30, seq.UniformComposition())
+		b := seq.Random(rng, "b", 30, seq.UniformComposition())
+		ia, ib := a.Indices(), b.Indices()
+		w := 1 + rng.Intn(20)
+		pa, pb := rng.Intn(30-w), rng.Intn(30-w)
+		s1 := m.WindowScore(a.Residues(), pa, b.Residues(), pb, w)
+		s2 := m.WindowScoreIdx(ia, pa, ib, pb, w)
+		if s1 != s2 {
+			t.Fatalf("trial %d: WindowScore %d != WindowScoreIdx %d", trial, s1, s2)
+		}
+	}
+}
+
+func TestSelfScoreIsUpperBound(t *testing.T) {
+	m := PAM120()
+	f := func(sa, sb int64) bool {
+		ra := rand.New(rand.NewSource(sa))
+		rb := rand.New(rand.NewSource(sb))
+		a := seq.Random(ra, "a", 25, seq.YeastComposition())
+		b := seq.Random(rb, "b", 25, seq.YeastComposition())
+		w := 10
+		self := m.SelfScore(a.Residues(), 0, w)
+		cross := m.WindowScore(a.Residues(), 0, b.Residues(), 0, w)
+		return cross <= self
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("PAM120")
+	if err != nil || m.Name() != "PAM120" {
+		t.Errorf("ByName(PAM120): %v %v", m, err)
+	}
+	m, err = ByName("BLOSUM62")
+	if err != nil || m.Name() != "BLOSUM62" {
+		t.Errorf("ByName(BLOSUM62): %v %v", m, err)
+	}
+	if _, err := ByName("PAM250"); err == nil {
+		t.Error("ByName accepted unknown matrix")
+	}
+}
+
+func TestPAMMoreInclusiveThanBLOSUM(t *testing.T) {
+	// The paper argues PAM120 is "more inclusive" than BLOSUM: it scores a
+	// broader set of substitutions positively relative to its scale. Check
+	// a proxy: PAM120 has at least as many strictly positive off-diagonal
+	// entries as BLOSUM62.
+	count := func(m *Matrix) int {
+		n := 0
+		for i := 0; i < seq.NumAminoAcids; i++ {
+			for j := 0; j < seq.NumAminoAcids; j++ {
+				if i != j && m.ScoreIdx(i, j) > 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(PAM120()) < count(BLOSUM62()) {
+		t.Errorf("PAM120 positive off-diagonals %d < BLOSUM62 %d",
+			count(PAM120()), count(BLOSUM62()))
+	}
+}

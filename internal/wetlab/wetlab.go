@@ -1,0 +1,281 @@
+// Package wetlab simulates the paper's experimental validation (Section
+// 4.2): conditional-sensitivity assays in S. cerevisiae. The real lab
+// exposed four strains — wild type (WT), wild type with an empty plasmid
+// (WT+), wild type expressing the InSiPS protein (WT+InSiPS), and a
+// target-gene knockout — to a stressor (65 ng/mL cycloheximide for
+// YBL051C/PIN4, 30 s of UV for YAL017W/PSK1) and counted surviving
+// colonies. If the designed protein truly inhibits its target, the
+// WT+InSiPS strain resembles the knockout.
+//
+// The model maps ground-truth binding strength (yeastgen's oracle, which
+// PIPE never observed) through a Hill curve to target-protein inhibition;
+// residual target activity interpolates survival between the wild-type
+// and knockout rates; colony counts are binomial draws with per-run
+// biological noise. Six months of bench work become a reproducible
+// stochastic simulation whose observable — the strain ordering
+// WT ~= WT+ >> WT+InSiPS >= knockout — is the paper's Table 4/5 readout.
+package wetlab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+// Strain enumerates the four S. cerevisiae strains of the paper.
+type Strain int
+
+// The four strains, in the paper's column order.
+const (
+	WT        Strain = iota // wild type
+	WTPlasmid               // wild type + empty plasmid (negative control)
+	WTInSiPS                // wild type expressing the designed protein
+	Knockout                // target gene deleted (positive control)
+	NumStrains
+)
+
+// String returns the paper's label for the strain.
+func (s Strain) String() string {
+	switch s {
+	case WT:
+		return "WT"
+	case WTPlasmid:
+		return "WT+"
+	case WTInSiPS:
+		return "WT+InSiPS"
+	case Knockout:
+		return "knockout"
+	}
+	return fmt.Sprintf("strain(%d)", int(s))
+}
+
+// Stressor describes a conditional challenge: survival of cells with the
+// target protein fully active versus fully absent.
+type Stressor struct {
+	Name             string
+	BaseSurvival     float64 // survival with full target activity
+	KnockoutSurvival float64 // survival with the target absent
+}
+
+// Cycloheximide65 is the paper's Table 4 challenge for YBL051C (PIN4):
+// 65 ng/mL cycloheximide, WT ~90% survival, knockout ~27%.
+func Cycloheximide65() Stressor {
+	return Stressor{Name: "cycloheximide 65ng/mL", BaseSurvival: 0.90, KnockoutSurvival: 0.27}
+}
+
+// UV30s is the paper's Table 5 challenge for YAL017W (PSK1): 30 s of
+// ultraviolet light, WT ~55% survival, knockout ~10%.
+func UV30s() Stressor {
+	return Stressor{Name: "UV 30s", BaseSurvival: 0.55, KnockoutSurvival: 0.10}
+}
+
+// Hill maps binding strength to fractional target inhibition:
+// inhibition = s^N / (s^N + K^N). Cooperative binding (N=2) with
+// half-inhibition at K=0.3 binding strength.
+type Hill struct {
+	K float64
+	N float64
+}
+
+// DefaultHill returns the default binding-to-inhibition curve.
+func DefaultHill() Hill { return Hill{K: 0.3, N: 2} }
+
+// Inhibition evaluates the curve at binding strength s.
+func (h Hill) Inhibition(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	sn := math.Pow(s, h.N)
+	return sn / (sn + math.Pow(h.K, h.N))
+}
+
+// Experiment is one conditional-sensitivity assay.
+type Experiment struct {
+	Proteome  *yeastgen.Proteome
+	TargetID  int
+	Inhibitor seq.Sequence // the designed anti-target protein
+	Stressor  Stressor
+	Hill      Hill
+	// Colonies is the number of cells plated per run. Default 500.
+	Colonies int
+	// RunNoise is the standard deviation of per-run survival-rate jitter
+	// (biological and plating variability). Default 0.03.
+	RunNoise float64
+	// Seed drives the stochastic draws.
+	Seed int64
+}
+
+func (e Experiment) withDefaults() Experiment {
+	if e.Colonies == 0 {
+		e.Colonies = 500
+	}
+	if e.RunNoise == 0 {
+		e.RunNoise = 0.03
+	}
+	if e.Hill == (Hill{}) {
+		e.Hill = DefaultHill()
+	}
+	return e
+}
+
+// Activity returns the target protein's residual activity in the strain:
+// 1 for both wild types, 0 for the knockout, and 1 - inhibition for the
+// strain expressing the designed protein.
+func (e Experiment) Activity(s Strain) float64 {
+	switch s {
+	case WTInSiPS:
+		strength := e.Proteome.BindingStrength(e.Inhibitor, e.TargetID)
+		return 1 - e.withDefaults().Hill.Inhibition(strength)
+	case Knockout:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Survival returns the expected survival rate of the strain under the
+// stressor (before per-run noise).
+func (e Experiment) Survival(s Strain) float64 {
+	a := e.Activity(s)
+	return e.Stressor.KnockoutSurvival + a*(e.Stressor.BaseSurvival-e.Stressor.KnockoutSurvival)
+}
+
+// Row is one experimental run: per-strain colony counts as a fraction of
+// the unexposed plating (the paper's percentage columns).
+type Row [NumStrains]float64
+
+// Table collects repeated runs — the paper's Tables 4 and 5.
+type Table struct {
+	Stressor Stressor
+	Rows     []Row
+}
+
+// Run performs runs independent repetitions of the assay.
+func (e Experiment) Run(runs int) Table {
+	e = e.withDefaults()
+	rng := rand.New(rand.NewSource(e.Seed))
+	t := Table{Stressor: e.Stressor}
+	for r := 0; r < runs; r++ {
+		var row Row
+		for s := WT; s < NumStrains; s++ {
+			p := e.Survival(s) + rng.NormFloat64()*e.RunNoise
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			// Binomial colony survival.
+			alive := 0
+			for c := 0; c < e.Colonies; c++ {
+				if rng.Float64() < p {
+					alive++
+				}
+			}
+			row[s] = float64(alive) / float64(e.Colonies)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Averages returns the per-strain mean across runs.
+func (t Table) Averages() Row {
+	var avg Row
+	if len(t.Rows) == 0 {
+		return avg
+	}
+	for _, row := range t.Rows {
+		for s := range row {
+			avg[s] += row[s]
+		}
+	}
+	for s := range avg {
+		avg[s] /= float64(len(t.Rows))
+	}
+	return avg
+}
+
+// StdDevs returns the per-strain sample standard deviation across runs
+// (the paper's Figure 8/9 error bars).
+func (t Table) StdDevs() Row {
+	var sd Row
+	if len(t.Rows) < 2 {
+		return sd
+	}
+	avg := t.Averages()
+	for _, row := range t.Rows {
+		for s := range row {
+			d := row[s] - avg[s]
+			sd[s] += d * d
+		}
+	}
+	for s := range sd {
+		sd[s] = math.Sqrt(sd[s] / float64(len(t.Rows)-1))
+	}
+	return sd
+}
+
+// InhibitionObserved reports whether the table shows the paper's
+// qualitative outcome: both negative controls are statistically
+// indistinguishable (within tol), and the InSiPS strain falls well below
+// them toward the knockout.
+func (t Table) InhibitionObserved(tol float64) bool {
+	avg := t.Averages()
+	controlsClose := math.Abs(avg[WT]-avg[WTPlasmid]) <= tol
+	inhibited := avg[WTInSiPS] <= avg[WT]-2*tol
+	orderedVsKnockout := avg[WTInSiPS] >= avg[Knockout]-tol
+	return controlsClose && inhibited && orderedVsKnockout
+}
+
+// SpotTest simulates the paper's Figure 10: a 10x dilution series for
+// each strain after stress exposure, returning spot densities in [0,1]
+// ([strain][dilution]). A spot saturates when many cells grow; deeper
+// dilutions of sensitive strains fade to nothing.
+func (e Experiment) SpotTest(dilutions int) [][NumStrains]float64 {
+	e = e.withDefaults()
+	rng := rand.New(rand.NewSource(e.Seed + 1))
+	const cellsInSpot = 1e4
+	out := make([][NumStrains]float64, dilutions)
+	for d := 0; d < dilutions; d++ {
+		factor := math.Pow(10, -float64(d+1))
+		for s := WT; s < NumStrains; s++ {
+			p := e.Survival(s) + rng.NormFloat64()*e.RunNoise/2
+			if p < 0 {
+				p = 0
+			}
+			expected := cellsInSpot * factor * p
+			// Growth density saturates: a few hundred cells already make a
+			// confluent spot.
+			out[d][s] = 1 - math.Exp(-expected/100)
+		}
+	}
+	return out
+}
+
+// RenderSpotTest draws the dilution series as ASCII art, mirroring the
+// paper's Figure 10 layout (strains in columns, 10x dilutions down).
+func RenderSpotTest(spots [][NumStrains]float64) string {
+	glyph := func(v float64) byte {
+		switch {
+		case v > 0.85:
+			return '#'
+		case v > 0.5:
+			return 'O'
+		case v > 0.2:
+			return 'o'
+		case v > 0.05:
+			return '.'
+		}
+		return ' '
+	}
+	out := fmt.Sprintf("%8s  %-4s %-4s %-10s %-8s\n", "", "WT", "WT+", "WT+InSiPS", "knockout")
+	for d, row := range spots {
+		out += fmt.Sprintf("10^-%d     [%c]  [%c]  [%c]        [%c]\n",
+			d+1, glyph(row[WT]), glyph(row[WTPlasmid]), glyph(row[WTInSiPS]), glyph(row[Knockout]))
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package wetlab
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/yeastgen"
+)
+
+var (
+	once sync.Once
+	prot *yeastgen.Proteome
+)
+
+func proteome(t testing.TB) *yeastgen.Proteome {
+	once.Do(func() {
+		pr, err := yeastgen.Generate(yeastgen.TestParams())
+		if err != nil {
+			panic(err)
+		}
+		prot = pr
+	})
+	return prot
+}
+
+// perfectInhibitor returns a sequence carrying an exact copy of the
+// complement of the wet-lab target's motif.
+func perfectInhibitor(pr *yeastgen.Proteome) (seq.Sequence, int) {
+	target := pr.WetlabTargetIDs()[0]
+	cStar := pr.ComplementOf(pr.WetlabTargetMotif(0))
+	rng := rand.New(rand.NewSource(5))
+	body := []byte(seq.Random(rng, "anti", 140, seq.YeastComposition()).Residues())
+	copy(body[40:], pr.MasterMotif(cStar).Residues())
+	return seq.MustNew("anti-target", string(body)), target
+}
+
+func experiment(t testing.TB, stressor Stressor) Experiment {
+	pr := proteome(t)
+	inh, target := perfectInhibitor(pr)
+	return Experiment{
+		Proteome:  pr,
+		TargetID:  target,
+		Inhibitor: inh,
+		Stressor:  stressor,
+		Seed:      7,
+	}
+}
+
+func TestStrainStrings(t *testing.T) {
+	want := []string{"WT", "WT+", "WT+InSiPS", "knockout"}
+	for s := WT; s < NumStrains; s++ {
+		if s.String() != want[s] {
+			t.Errorf("strain %d = %q", s, s.String())
+		}
+	}
+}
+
+func TestHillCurve(t *testing.T) {
+	h := DefaultHill()
+	if h.Inhibition(0) != 0 {
+		t.Error("inhibition at zero binding")
+	}
+	if got := h.Inhibition(h.K); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("inhibition at K = %f, want 0.5", got)
+	}
+	if h.Inhibition(1) < 0.9 {
+		t.Errorf("inhibition at full binding = %f", h.Inhibition(1))
+	}
+	prev := 0.0
+	for s := 0.0; s <= 1; s += 0.05 {
+		v := h.Inhibition(s)
+		if v < prev {
+			t.Fatal("Hill curve not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestActivityPerStrain(t *testing.T) {
+	e := experiment(t, Cycloheximide65())
+	if e.Activity(WT) != 1 || e.Activity(WTPlasmid) != 1 {
+		t.Error("controls should have full activity")
+	}
+	if e.Activity(Knockout) != 0 {
+		t.Error("knockout should have zero activity")
+	}
+	a := e.Activity(WTInSiPS)
+	if a >= 0.5 {
+		t.Errorf("perfect inhibitor leaves activity %f", a)
+	}
+}
+
+func TestSurvivalInterpolates(t *testing.T) {
+	e := experiment(t, Cycloheximide65())
+	if got := e.Survival(WT); got != 0.90 {
+		t.Errorf("WT survival %f", got)
+	}
+	if got := e.Survival(Knockout); got != 0.27 {
+		t.Errorf("knockout survival %f", got)
+	}
+	s := e.Survival(WTInSiPS)
+	if s <= 0.27 || s >= 0.90 {
+		t.Errorf("InSiPS strain survival %f outside (knockout, WT)", s)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	// The cycloheximide assay must reproduce Table 4's ordering:
+	// WT ~= WT+ >> WT+InSiPS >= knockout.
+	table := experiment(t, Cycloheximide65()).Run(5)
+	if len(table.Rows) != 5 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	avg := table.Averages()
+	if math.Abs(avg[WT]-avg[WTPlasmid]) > 0.08 {
+		t.Errorf("controls differ: %f vs %f", avg[WT], avg[WTPlasmid])
+	}
+	if avg[WTInSiPS] >= avg[WT]-0.15 {
+		t.Errorf("no inhibition: WT %f, InSiPS %f", avg[WT], avg[WTInSiPS])
+	}
+	if avg[Knockout] > avg[WTInSiPS]+0.08 {
+		t.Errorf("knockout %f above InSiPS strain %f", avg[Knockout], avg[WTInSiPS])
+	}
+	if !table.InhibitionObserved(0.08) {
+		t.Error("InhibitionObserved is false on a clean inhibition table")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	table := experiment(t, UV30s()).Run(5)
+	avg := table.Averages()
+	if avg[WT] < 0.45 || avg[WT] > 0.65 {
+		t.Errorf("UV WT survival %f outside paper's ~55%%", avg[WT])
+	}
+	if avg[Knockout] > 0.2 {
+		t.Errorf("UV knockout survival %f outside paper's ~10%%", avg[Knockout])
+	}
+	if !table.InhibitionObserved(0.08) {
+		t.Error("UV assay does not show inhibition")
+	}
+}
+
+func TestNoInhibitionWithRandomProtein(t *testing.T) {
+	// A random (non-designed) protein must NOT sensitize the cells — the
+	// negative-control property that makes the wet-lab result meaningful.
+	pr := proteome(t)
+	rng := rand.New(rand.NewSource(9))
+	e := Experiment{
+		Proteome:  pr,
+		TargetID:  pr.WetlabTargetIDs()[0],
+		Inhibitor: seq.Random(rng, "random-protein", 140, seq.YeastComposition()),
+		Stressor:  Cycloheximide65(),
+		Seed:      11,
+	}
+	table := e.Run(5)
+	avg := table.Averages()
+	if avg[WTInSiPS] < avg[WT]-0.08 {
+		t.Errorf("random protein inhibited the target: WT %f vs %f", avg[WT], avg[WTInSiPS])
+	}
+	if table.InhibitionObserved(0.08) {
+		t.Error("InhibitionObserved is true for a random protein")
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	e := experiment(t, UV30s())
+	a := e.Run(3)
+	b := e.Run(3)
+	for r := range a.Rows {
+		if a.Rows[r] != b.Rows[r] {
+			t.Fatal("runs differ under identical seed")
+		}
+	}
+	e.Seed = 1234
+	c := e.Run(3)
+	if c.Rows[0] == a.Rows[0] {
+		t.Error("different seeds produced identical rows")
+	}
+}
+
+func TestStdDevs(t *testing.T) {
+	e := experiment(t, Cycloheximide65())
+	table := e.Run(5)
+	sd := table.StdDevs()
+	for s := WT; s < NumStrains; s++ {
+		if sd[s] <= 0 || sd[s] > 0.1 {
+			t.Errorf("stddev[%v] = %f implausible", s, sd[s])
+		}
+	}
+	if (Table{}).StdDevs() != (Row{}) {
+		t.Error("stddev of empty table not zero")
+	}
+	if (Table{}).Averages() != (Row{}) {
+		t.Error("averages of empty table not zero")
+	}
+}
+
+func TestSpotTest(t *testing.T) {
+	e := experiment(t, UV30s())
+	spots := e.SpotTest(4)
+	if len(spots) != 4 {
+		t.Fatalf("%d dilutions", len(spots))
+	}
+	for d := range spots {
+		for s := WT; s < NumStrains; s++ {
+			v := spots[d][s]
+			if v < 0 || v > 1 {
+				t.Fatalf("spot density %f out of range", v)
+			}
+			// Density never increases with dilution.
+			if d > 0 && v > spots[d-1][s]+1e-9 {
+				t.Errorf("spot density grew with dilution for %v", s)
+			}
+		}
+	}
+	// At the deepest dilution, sensitive strains fade below controls
+	// (the paper's "decreased growth in columns 3 and 4").
+	last := spots[len(spots)-1]
+	if last[WTInSiPS] >= last[WT] {
+		t.Errorf("InSiPS spot %f not fainter than WT %f", last[WTInSiPS], last[WT])
+	}
+	if last[Knockout] >= last[WT] {
+		t.Error("knockout spot not fainter than WT")
+	}
+}
+
+func TestRenderSpotTest(t *testing.T) {
+	e := experiment(t, UV30s())
+	art := RenderSpotTest(e.SpotTest(4))
+	if !strings.Contains(art, "WT+InSiPS") || !strings.Contains(art, "10^-4") {
+		t.Errorf("render missing labels:\n%s", art)
+	}
+	if len(strings.Split(strings.TrimSpace(art), "\n")) != 5 {
+		t.Errorf("render has wrong line count:\n%s", art)
+	}
+}

@@ -1,0 +1,162 @@
+package yeastgen
+
+import (
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// motifMatchFrac is the fraction of a master motif's PAM120 self-score a
+// fragment must reach for binding to begin. Planted instances (8%
+// mutation, ~0.78) comfortably clear it; random background (~0.1 per
+// specific motif) does not. Binding strength grows linearly above the
+// onset, so partially faithful designed motifs give the partial
+// inhibition the paper's colony counts show.
+const motifMatchFrac = 0.4
+
+// MotifAffinity returns, for each motif m, the best normalized PAM120
+// similarity (aligned score / motif self-score, clamped to [0,1])
+// between s and the master motif over every ungapped alignment,
+// including partial overlaps at the sequence ends (overhanging motif
+// columns contribute nothing, so a sequence carrying 80%% of a motif at
+// its very start still registers ~80%% affinity — partial motifs bind
+// partially). Values near 1 mean s carries a near-exact full copy.
+func (pr *Proteome) MotifAffinity(s seq.Sequence) []float64 {
+	out := make([]float64, len(pr.motifs))
+	sIdx := s.Indices()
+	for m, motif := range pr.motifs {
+		mIdx := motif.Indices()
+		w := motif.Len()
+		self := pr.oracleMatrix.WindowScoreIdx(mIdx, 0, mIdx, 0, w)
+		if self <= 0 || s.Len() == 0 {
+			continue
+		}
+		best := 0.0
+		// offset is the position of motif column 0 relative to s; negative
+		// offsets hang off the left end, large ones off the right.
+		for off := -(w - 1); off < s.Len(); off++ {
+			lo := 0
+			if off < 0 {
+				lo = -off
+			}
+			hi := w
+			if off+w > s.Len() {
+				hi = s.Len() - off
+			}
+			if hi-lo < w/2 {
+				continue // require at least half the motif to overlap
+			}
+			score := 0
+			for k := lo; k < hi; k++ {
+				score += int(pr.oracleMatrix.ScoreIdx(int(sIdx[off+k]), int(mIdx[k])))
+			}
+			if v := float64(score) / float64(self); v > best {
+				best = v
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		if best > 1 {
+			best = 1
+		}
+		out[m] = best
+	}
+	return out
+}
+
+// BindingStrength is the ground-truth oracle: the physical binding
+// strength in [0,1] between an arbitrary sequence s and natural protein
+// id. It is the best "lock-and-key" fit — over the motifs planted in the
+// protein, the affinity of s for the complementary motif, rescaled so
+// that affinities below the match threshold contribute nothing.
+//
+// The wet-lab simulator consumes this, so InSiPS is validated against a
+// signal it never observed directly (PIPE sees only the interaction
+// graph, not the motif vocabulary).
+func (pr *Proteome) BindingStrength(s seq.Sequence, id int) float64 {
+	aff := pr.MotifAffinity(s)
+	best := 0.0
+	for _, m := range pr.motifOf[id] {
+		a := aff[pr.ComplementOf(m)]
+		if a > best {
+			best = a
+		}
+	}
+	if best <= motifMatchFrac {
+		return 0
+	}
+	return (best - motifMatchFrac) / (1 - motifMatchFrac)
+}
+
+// TrulyBinds reports whether s carries a motif complementary to one of
+// protein id's motifs at match fidelity.
+func (pr *Proteome) TrulyBinds(s seq.Sequence, id int) bool {
+	return pr.BindingStrength(s, id) > 0
+}
+
+// Difficulty classes for the Figure 3 benchmark. The paper's five test
+// sequences span "easiest" (few matching proteins in the PIPE database,
+// little work) to "hardest" (many matches, much work).
+type Difficulty int
+
+// Difficulty classes, easiest first, named after the paper's sequences.
+const (
+	DifficultyEasiest Difficulty = iota // YPL108W: no shared motifs
+	DifficultyEasy                      // YPL158C: one rare motif
+	DifficultyMedium                    // YJR151C: one popular motif
+	DifficultyHard                      // YCL019W: two popular motifs
+	DifficultyHardest                   // YHR214C-B: four popular motifs
+	NumDifficulties
+)
+
+// PaperName returns the sequence name the paper uses for this class.
+func (d Difficulty) PaperName() string {
+	switch d {
+	case DifficultyEasiest:
+		return "YPL108W"
+	case DifficultyEasy:
+		return "YPL158C"
+	case DifficultyMedium:
+		return "YJR151C"
+	case DifficultyHard:
+		return "YCL019W"
+	case DifficultyHardest:
+		return "YHR214C-B"
+	}
+	return "unknown"
+}
+
+// DifficultySequence builds a query sequence of the given difficulty:
+// harder classes embed more, and more popular, motifs, so they match more
+// database proteins and give PIPE more co-occurrences to count.
+func (pr *Proteome) DifficultySequence(rng *rand.Rand, d Difficulty, length int) seq.Sequence {
+	name := d.PaperName()
+	if length < pr.Params.MotifLen*4 {
+		length = pr.Params.MotifLen * 4
+	}
+	body := []byte(seq.Random(rng, name, length, seq.YeastComposition()).Residues())
+	var plant []int
+	popular := func(k int) int { return k % 4 } // motif IDs 0..3 are the Zipf head
+	rare := pr.Params.NumMotifs - 2
+	switch d {
+	case DifficultyEasiest:
+		// no motifs
+	case DifficultyEasy:
+		plant = []int{rare}
+	case DifficultyMedium:
+		plant = []int{popular(0)}
+	case DifficultyHard:
+		plant = []int{popular(0), popular(1)}
+	case DifficultyHardest:
+		plant = []int{popular(0), popular(1), popular(2), popular(3)}
+	}
+	sampler := seq.NewSampler(seq.YeastComposition())
+	block := length / 4
+	for s, m := range plant {
+		inst := seq.Mutate(rng, pr.motifs[m], pr.Params.MotifMutRate, sampler)
+		off := s*block + rng.Intn(block-pr.Params.MotifLen+1)
+		copy(body[off:], inst.Residues())
+	}
+	return seq.MustNew(name, string(body))
+}

@@ -1,0 +1,108 @@
+package yeastgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestWetlabTargetsGenerated(t *testing.T) {
+	pr := genTest(t)
+	ids := pr.WetlabTargetIDs()
+	if len(ids) != TestParams().WetlabTargets {
+		t.Fatalf("got %d wet-lab targets", len(ids))
+	}
+	id := ids[0]
+	if pr.Proteins[id].Name() != PaperWetlabNames[0] {
+		t.Errorf("wet-lab target 0 named %q, want %q", pr.Proteins[id].Name(), PaperWetlabNames[0])
+	}
+	if pr.Component(id) != Cytoplasm {
+		t.Error("wet-lab target not cytoplasmic (paper criterion 1)")
+	}
+	ms := pr.Motifs(id)
+	if len(ms) != 1 || ms[0] != pr.WetlabTargetMotif(0) {
+		t.Errorf("wet-lab target motifs %v, want reserved motif %d", ms, pr.WetlabTargetMotif(0))
+	}
+}
+
+func TestWetlabReservedMotifsUnused(t *testing.T) {
+	pr := genTest(t)
+	p := TestParams()
+	reservedStart := p.NumMotifs - 2*p.WetlabTargets
+	// Regular proteins (the first NumProteins) must never draw reserved
+	// motifs.
+	for i := 0; i < p.NumProteins; i++ {
+		for _, m := range pr.Motifs(i) {
+			if m >= reservedStart {
+				t.Fatalf("regular protein %d carries reserved motif %d", i, m)
+			}
+		}
+	}
+}
+
+func TestWetlabTargetNeighborhood(t *testing.T) {
+	pr := genTest(t)
+	id := pr.WetlabTargetIDs()[0]
+	// The target must interact with several complement partners (the
+	// "well-studied" criterion) so PIPE has evidence to mine.
+	if deg := pr.Graph.Degree(id); deg < 2 {
+		t.Errorf("wet-lab target degree %d, want >= 2", deg)
+	}
+	// All neighbors must be complement-carrier partners (mono-motif,
+	// carrying the reserved complement).
+	cStar := pr.ComplementOf(pr.WetlabTargetMotif(0))
+	for _, nb := range pr.Graph.Neighbors(id) {
+		ms := pr.Motifs(int(nb))
+		if len(ms) != 1 || ms[0] != cStar {
+			// Noise edges may touch the target; tolerate but count.
+			continue
+		}
+	}
+}
+
+func TestWetlabDesignedBinderTrulyBinds(t *testing.T) {
+	pr := genTest(t)
+	id := pr.WetlabTargetIDs()[0]
+	cStar := pr.ComplementOf(pr.WetlabTargetMotif(0))
+	rng := rand.New(rand.NewSource(11))
+	body := []byte(seq.Random(rng, "binder", 140, seq.YeastComposition()).Residues())
+	copy(body[50:], pr.MasterMotif(cStar).Residues())
+	binder := seq.MustNew("binder", string(body))
+	if !pr.TrulyBinds(binder, id) {
+		t.Fatal("complement-carrying binder does not truly bind wet-lab target")
+	}
+	// It must NOT bind unrelated cytoplasmic proteins.
+	bound := 0
+	for _, other := range pr.ComponentMembers(Cytoplasm) {
+		if other != id && pr.TrulyBinds(binder, other) {
+			bound++
+		}
+	}
+	if bound > 0 {
+		t.Errorf("binder truly binds %d unrelated cytoplasmic proteins", bound)
+	}
+}
+
+func TestWetlabZeroTargets(t *testing.T) {
+	p := TestParams()
+	p.WetlabTargets = 0
+	pr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.WetlabTargetIDs()) != 0 {
+		t.Error("unexpected wet-lab targets")
+	}
+	if len(pr.Proteins) != p.NumProteins {
+		t.Errorf("got %d proteins, want exactly %d", len(pr.Proteins), p.NumProteins)
+	}
+}
+
+func TestWetlabTooManyTargets(t *testing.T) {
+	p := TestParams()
+	p.WetlabTargets = p.NumMotifs / 2
+	if _, err := Generate(p); err == nil {
+		t.Error("excessive wet-lab targets accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package yeastgen generates a synthetic stand-in for the S. cerevisiae
+// proteome and its curated interaction network (BioGRID/DOMINO in the
+// paper), which are not shipped with this repository.
+//
+// The generator plants "lock-and-key" sequence motifs: a fixed vocabulary
+// of master motifs is paired up (motif 2k binds motif 2k+1), every
+// protein carries mutated copies of a few motifs, and two proteins
+// interact when they carry complementary motifs. This reproduces the
+// statistical structure PIPE mines — window pairs that co-occur across
+// many known interacting pairs — while motif popularity follows a Zipf
+// law so the interaction graph gets the heavy-tailed degree distribution
+// of real PPI networks, and motif-rich sequences are costlier to score
+// (the paper's Figure 3 difficulty spread).
+//
+// The generator also provides the ground-truth binding oracle used by the
+// simulated wet lab: a novel sequence truly binds protein P when it
+// carries a high-fidelity copy of a motif complementary to one of P's.
+package yeastgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+	"repro/internal/submat"
+)
+
+// Component labels a cellular localization; non-target sets are drawn
+// from the target's component (paper Section 4).
+type Component int
+
+// Cellular components assigned to synthetic proteins.
+const (
+	Cytoplasm Component = iota
+	Nucleus
+	Mitochondrion
+	Membrane
+	NumComponents
+)
+
+// String returns the component name.
+func (c Component) String() string {
+	switch c {
+	case Cytoplasm:
+		return "cytoplasm"
+	case Nucleus:
+		return "nucleus"
+	case Mitochondrion:
+		return "mitochondrion"
+	case Membrane:
+		return "membrane"
+	}
+	return fmt.Sprintf("component(%d)", int(c))
+}
+
+// Params controls proteome generation. Use DefaultParams or TestParams
+// as starting points.
+type Params struct {
+	Seed        int64
+	NumProteins int
+	MinLen      int // minimum protein length (residues)
+	MaxLen      int // maximum protein length
+	// Motif vocabulary. Motifs are paired: motif 2k binds motif 2k+1.
+	NumMotifs int // must be even
+	MotifLen  int
+	// MaxMotifsPerProtein bounds how many motif instances one protein
+	// carries (at least one; heavier proteins are rarer).
+	MaxMotifsPerProtein int
+	// MotifMutRate is the per-residue mutation rate applied to each
+	// planted motif copy (sequence divergence among instances).
+	MotifMutRate float64
+	// EdgeProb is the probability that a complementary motif pair on two
+	// proteins yields a recorded interaction edge.
+	EdgeProb float64
+	// NoiseEdges adds this many random spurious interactions.
+	NoiseEdges int
+	// ZipfS is the Zipf exponent for motif popularity (larger means more
+	// skew, stronger hubs).
+	ZipfS float64
+	// ZipfOffset flattens the head of the popularity law
+	// (weight ~ 1/(rank+offset)^s), bounding hub size so the interaction
+	// graph stays sparse like real PPI networks.
+	ZipfOffset float64
+	// WetlabTargets is the number of dedicated well-posed wet-lab targets
+	// to plant (see wetlab.go). The last 2*WetlabTargets motifs of the
+	// vocabulary are reserved for them.
+	WetlabTargets int
+}
+
+// DefaultParams sizes the proteome for the experiment harness: large
+// enough to show the paper's effects, small enough for a laptop.
+func DefaultParams() Params {
+	return Params{
+		Seed:                1,
+		NumProteins:         500,
+		MinLen:              120,
+		MaxLen:              450,
+		NumMotifs:           80,
+		MotifLen:            24,
+		MaxMotifsPerProtein: 3,
+		MotifMutRate:        0.08,
+		EdgeProb:            0.08,
+		NoiseEdges:          30,
+		ZipfS:               1.4,
+		ZipfOffset:          10,
+		WetlabTargets:       3,
+	}
+}
+
+// TestParams is a small fast configuration for unit tests.
+func TestParams() Params {
+	p := DefaultParams()
+	p.NumProteins = 120
+	p.MinLen = 100
+	p.MaxLen = 200
+	p.NumMotifs = 24
+	p.MaxMotifsPerProtein = 2
+	p.EdgeProb = 0.12
+	p.NoiseEdges = 6
+	p.WetlabTargets = 1
+	return p
+}
+
+func (p Params) validate() error {
+	if p.NumProteins < 2 {
+		return fmt.Errorf("yeastgen: need at least 2 proteins, got %d", p.NumProteins)
+	}
+	if p.NumMotifs < 2 || p.NumMotifs%2 != 0 {
+		return fmt.Errorf("yeastgen: NumMotifs must be even and >= 2, got %d", p.NumMotifs)
+	}
+	if p.WetlabTargets < 0 || p.NumMotifs-2*p.WetlabTargets < 4 {
+		return fmt.Errorf("yeastgen: %d wet-lab targets leave too few of %d motifs",
+			p.WetlabTargets, p.NumMotifs)
+	}
+	if p.MinLen < p.MotifLen*p.MaxMotifsPerProtein {
+		return fmt.Errorf("yeastgen: MinLen %d cannot host %d motifs of length %d",
+			p.MinLen, p.MaxMotifsPerProtein, p.MotifLen)
+	}
+	if p.MaxLen < p.MinLen {
+		return fmt.Errorf("yeastgen: MaxLen %d < MinLen %d", p.MaxLen, p.MinLen)
+	}
+	if p.MotifMutRate < 0 || p.MotifMutRate >= 1 {
+		return fmt.Errorf("yeastgen: MotifMutRate %f out of [0,1)", p.MotifMutRate)
+	}
+	return nil
+}
+
+// Proteome is a generated synthetic proteome with its interaction network
+// and ground-truth structure.
+type Proteome struct {
+	Params   Params
+	Proteins []seq.Sequence
+	Graph    *ppigraph.Graph
+
+	motifs       []seq.Sequence // master motif sequences
+	motifOf      [][]int        // motif IDs planted in each protein
+	components   []Component
+	wetlabIDs    []int
+	oracleMatrix *submat.Matrix
+}
+
+// Generate builds a proteome from params. Generation is deterministic in
+// Params.Seed.
+func Generate(p Params) (*Proteome, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	sampler := seq.NewSampler(seq.YeastComposition())
+
+	pr := &Proteome{Params: p, oracleMatrix: submat.PAM120()}
+
+	// Master motif vocabulary.
+	for m := 0; m < p.NumMotifs; m++ {
+		pr.motifs = append(pr.motifs,
+			seq.Random(rng, fmt.Sprintf("motif%02d", m), p.MotifLen, seq.YeastComposition()))
+	}
+
+	// Zipf popularity over motifs: weight(rank r) ~ 1/r^s.
+	weights := make([]float64, p.NumMotifs)
+	total := 0.0
+	for m := range weights {
+		weights[m] = 1 / math.Pow(float64(m+1)+p.ZipfOffset, p.ZipfS)
+		total += weights[m]
+	}
+	// The last 2*WetlabTargets motifs are reserved for wet-lab targets.
+	zipfMotifs := p.NumMotifs - 2*p.WetlabTargets
+	total = 0
+	for m := 0; m < zipfMotifs; m++ {
+		total += weights[m]
+	}
+	drawMotif := func() int {
+		u := rng.Float64() * total
+		for m := 0; m < zipfMotifs; m++ {
+			u -= weights[m]
+			if u <= 0 {
+				return m
+			}
+		}
+		return zipfMotifs - 1
+	}
+
+	// Proteins: background residues plus planted motif copies.
+	builder := ppigraph.NewBuilder()
+	usedNames := make(map[string]bool, p.NumProteins)
+	for _, n := range PaperWetlabNames {
+		usedNames[n] = true // reserved for wet-lab targets
+	}
+	var genErr error
+	addProtein := func(name string, body []byte, comp Component, motifs []int) {
+		prot, err := seq.New(name, string(body))
+		if err != nil && genErr == nil {
+			genErr = err
+			return
+		}
+		pr.Proteins = append(pr.Proteins, prot)
+		pr.components = append(pr.components, comp)
+		pr.motifOf = append(pr.motifOf, motifs)
+		builder.AddProtein(name)
+	}
+	for i := 0; i < p.NumProteins; i++ {
+		length := p.MinLen + rng.Intn(p.MaxLen-p.MinLen+1)
+		name := SystematicName(rng)
+		for usedNames[name] {
+			name = SystematicName(rng)
+		}
+		usedNames[name] = true
+		body := []byte(seq.Random(rng, name, length, seq.YeastComposition()).Residues())
+
+		nm := 1 + rng.Intn(p.MaxMotifsPerProtein)
+		// Non-overlapping slots: partition sequence into nm blocks and
+		// place one motif at a random offset within each block.
+		block := length / nm
+		var motifs []int
+		for s := 0; s < nm; s++ {
+			if block < p.MotifLen {
+				break
+			}
+			motifID := drawMotif()
+			inst := seq.Mutate(rng, pr.motifs[motifID], p.MotifMutRate, sampler)
+			off := s*block + rng.Intn(block-p.MotifLen+1)
+			copy(body[off:], inst.Residues())
+			motifs = append(motifs, motifID)
+		}
+		addProtein(name, body, Component(rng.Intn(int(NumComponents))), motifs)
+	}
+	if p.WetlabTargets > 0 {
+		first := len(pr.Proteins)
+		pr.generateWetlabTargets(rng, addProtein)
+		perTarget := (len(pr.Proteins) - first) / p.WetlabTargets
+		for k := 0; k < p.WetlabTargets; k++ {
+			pr.wetlabIDs = append(pr.wetlabIDs, first+k*perTarget)
+		}
+	}
+	if genErr != nil {
+		return nil, genErr
+	}
+
+	// Interaction edges from complementary motifs; reserved wet-lab motif
+	// pairs use a denser, well-studied interaction neighborhood.
+	carriers := make([][]int, p.NumMotifs)
+	for i, ms := range pr.motifOf {
+		for _, m := range ms {
+			carriers[m] = append(carriers[m], i)
+		}
+	}
+	for m := 0; m+1 < p.NumMotifs; m += 2 {
+		prob := p.EdgeProb
+		if m >= zipfMotifs {
+			prob = wetlabEdgeProb
+		}
+		for _, a := range carriers[m] {
+			for _, b := range carriers[m+1] {
+				if a != b && rng.Float64() < prob {
+					builder.AddEdgeID(a, b)
+				}
+			}
+		}
+	}
+	for e := 0; e < p.NoiseEdges; e++ {
+		builder.AddEdgeID(rng.Intn(p.NumProteins), rng.Intn(p.NumProteins))
+	}
+	pr.Graph = builder.Build()
+	return pr, nil
+}
+
+// Component returns the cellular component of protein id.
+func (pr *Proteome) Component(id int) Component { return pr.components[id] }
+
+// ComponentMembers returns the IDs of all proteins in component c.
+func (pr *Proteome) ComponentMembers(c Component) []int {
+	var out []int
+	for id, cc := range pr.components {
+		if cc == c {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Motifs returns the IDs of motifs planted in protein id.
+func (pr *Proteome) Motifs(id int) []int { return pr.motifOf[id] }
+
+// MasterMotif returns the master sequence of motif m.
+func (pr *Proteome) MasterMotif(m int) seq.Sequence { return pr.motifs[m] }
+
+// ComplementOf returns the motif that binds motif m.
+func (pr *Proteome) ComplementOf(m int) int {
+	if m%2 == 0 {
+		return m + 1
+	}
+	return m - 1
+}
+
+// ID looks up a protein by name.
+func (pr *Proteome) ID(name string) (int, bool) { return pr.Graph.ID(name) }
+
+// SystematicName produces a plausible yeast systematic ORF name
+// (e.g. "YBL051C"). Names are random draws; Generate retries on
+// collision so proteome names are unique.
+func SystematicName(rng *rand.Rand) string {
+	chrom := byte('A' + rng.Intn(16))
+	arm := byte("LR"[rng.Intn(2)])
+	num := rng.Intn(300) + 1
+	strand := byte("WC"[rng.Intn(2)])
+	return fmt.Sprintf("Y%c%c%03d%c", chrom, arm, num, strand)
+}

@@ -1,0 +1,289 @@
+package yeastgen
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func genTest(t testing.TB) *Proteome {
+	t.Helper()
+	pr, err := Generate(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestGenerateBasics(t *testing.T) {
+	pr := genTest(t)
+	p := TestParams()
+	// NumProteins regular proteins plus the wet-lab cast (target, decoy
+	// and partners per wet-lab target).
+	want := p.NumProteins + p.WetlabTargets*(2+wetlabPartners)
+	if len(pr.Proteins) != want {
+		t.Fatalf("got %d proteins, want %d", len(pr.Proteins), want)
+	}
+	if pr.Graph.NumProteins() != want {
+		t.Fatalf("graph has %d vertices", pr.Graph.NumProteins())
+	}
+	for i, prot := range pr.Proteins {
+		if prot.Len() < p.MinLen || prot.Len() > p.MaxLen {
+			t.Errorf("protein %d length %d outside [%d,%d]", i, prot.Len(), p.MinLen, p.MaxLen)
+		}
+		if !seq.Valid(prot.Residues()) {
+			t.Errorf("protein %d has invalid residues", i)
+		}
+		if pr.Graph.Name(i) != prot.Name() {
+			t.Errorf("graph vertex %d name mismatch", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTest(t)
+	b := genTest(t)
+	for i := range a.Proteins {
+		if a.Proteins[i].Residues() != b.Proteins[i].Residues() {
+			t.Fatalf("protein %d differs between runs with same seed", i)
+		}
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("edge counts differ between runs with same seed")
+	}
+	p := TestParams()
+	p.Seed = 2
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Proteins[0].Residues() == a.Proteins[0].Residues() {
+		t.Error("different seeds produced identical proteomes")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.NumProteins = 1 },
+		func(p *Params) { p.NumMotifs = 7 },
+		func(p *Params) { p.MinLen = 10 },
+		func(p *Params) { p.MaxLen = p.MinLen - 1 },
+		func(p *Params) { p.MotifMutRate = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := TestParams()
+		mutate(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestNamesUniqueAndSystematic(t *testing.T) {
+	pr := genTest(t)
+	re := regexp.MustCompile(`^(Y[A-P][LR][0-9]{3}[WC]|WL[TDP][0-9A-Z]*[WC])$`)
+	seen := map[string]bool{}
+	for _, p := range pr.Proteins {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate name %s", p.Name())
+		}
+		seen[p.Name()] = true
+		if !re.MatchString(p.Name()) {
+			t.Errorf("name %q not systematic", p.Name())
+		}
+	}
+}
+
+func TestEveryProteinHasMotif(t *testing.T) {
+	pr := genTest(t)
+	for i := range pr.Proteins {
+		if len(pr.Motifs(i)) == 0 {
+			t.Errorf("protein %d carries no motifs", i)
+		}
+	}
+}
+
+func TestGraphHasHubs(t *testing.T) {
+	pr := genTest(t)
+	s := pr.Graph.Stats()
+	if s.Max < int(2*s.Mean) {
+		t.Errorf("degree distribution not heavy-tailed: max %d, mean %.1f", s.Max, s.Mean)
+	}
+	if pr.Graph.NumEdges() < pr.Graph.NumProteins()*3/4 {
+		t.Errorf("graph too sparse: %d edges for %d proteins",
+			pr.Graph.NumEdges(), pr.Graph.NumProteins())
+	}
+}
+
+func TestInteractingPairsShareComplementaryMotifs(t *testing.T) {
+	pr := genTest(t)
+	p := TestParams()
+	// Count edges explained by complementary motifs; noise edges are the
+	// only exception, so the explained fraction must dominate.
+	explained, total := 0, 0
+	pr.Graph.Edges(func(a, b int) bool {
+		total++
+		for _, ma := range pr.Motifs(a) {
+			for _, mb := range pr.Motifs(b) {
+				if pr.ComplementOf(ma) == mb {
+					explained++
+					return true
+				}
+			}
+		}
+		return true
+	})
+	if total == 0 {
+		t.Fatal("no edges generated")
+	}
+	frac := float64(explained) / float64(total)
+	minFrac := 1 - 2*float64(p.NoiseEdges)/float64(total)
+	if frac < minFrac-0.1 {
+		t.Errorf("only %.2f of edges explained by motifs", frac)
+	}
+}
+
+func TestComplementOf(t *testing.T) {
+	pr := genTest(t)
+	if pr.ComplementOf(0) != 1 || pr.ComplementOf(1) != 0 {
+		t.Error("ComplementOf(0/1) wrong")
+	}
+	if pr.ComplementOf(6) != 7 || pr.ComplementOf(7) != 6 {
+		t.Error("ComplementOf(6/7) wrong")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	pr := genTest(t)
+	counts := map[Component]int{}
+	for i := range pr.Proteins {
+		c := pr.Component(i)
+		if c < 0 || c >= NumComponents {
+			t.Fatalf("protein %d has component %d", i, c)
+		}
+		counts[c]++
+	}
+	members := pr.ComponentMembers(Cytoplasm)
+	if len(members) != counts[Cytoplasm] {
+		t.Errorf("ComponentMembers = %d, counted %d", len(members), counts[Cytoplasm])
+	}
+	for _, id := range members {
+		if pr.Component(id) != Cytoplasm {
+			t.Fatal("ComponentMembers returned wrong component")
+		}
+	}
+	if Cytoplasm.String() != "cytoplasm" || Component(99).String() == "" {
+		t.Error("Component.String wrong")
+	}
+}
+
+func TestMotifAffinitySelf(t *testing.T) {
+	pr := genTest(t)
+	// A master motif embedded verbatim scores affinity 1 for itself.
+	m0 := pr.MasterMotif(0)
+	host := seq.MustNew("host", m0.Residues()+m0.Residues())
+	aff := pr.MotifAffinity(host)
+	if aff[0] < 0.999 {
+		t.Errorf("self affinity = %f, want 1", aff[0])
+	}
+}
+
+func TestMotifAffinityRandomLow(t *testing.T) {
+	pr := genTest(t)
+	rng := rand.New(rand.NewSource(99))
+	random := seq.Random(rng, "rnd", 150, seq.YeastComposition())
+	aff := pr.MotifAffinity(random)
+	for m, a := range aff {
+		if a > motifMatchFrac {
+			t.Errorf("random sequence has affinity %.2f for motif %d (> threshold)", a, m)
+		}
+	}
+}
+
+func TestBindingStrengthOracle(t *testing.T) {
+	pr := genTest(t)
+	// Build a sequence carrying the complement of protein 0's first motif:
+	// it must truly bind protein 0.
+	m := pr.Motifs(0)[0]
+	comp := pr.MasterMotif(pr.ComplementOf(m))
+	rng := rand.New(rand.NewSource(7))
+	body := []byte(seq.Random(rng, "binder", 120, seq.YeastComposition()).Residues())
+	copy(body[40:], comp.Residues())
+	binder := seq.MustNew("binder", string(body))
+	if !pr.TrulyBinds(binder, 0) {
+		t.Fatal("sequence carrying complementary motif does not bind")
+	}
+	if s := pr.BindingStrength(binder, 0); s < 0.9 {
+		t.Errorf("exact complementary motif strength = %f, want ~1", s)
+	}
+	// A random sequence must not bind.
+	random := seq.Random(rng, "rnd", 120, seq.YeastComposition())
+	if pr.TrulyBinds(random, 0) {
+		t.Error("random sequence binds protein 0")
+	}
+}
+
+func TestBindingStrengthDegradesWithMutation(t *testing.T) {
+	pr := genTest(t)
+	m := pr.Motifs(0)[0]
+	comp := pr.MasterMotif(pr.ComplementOf(m))
+	rng := rand.New(rand.NewSource(8))
+	sampler := seq.NewSampler(seq.YeastComposition())
+	embed := func(motif seq.Sequence) seq.Sequence {
+		body := []byte(seq.Random(rand.New(rand.NewSource(3)), "host", 120, seq.YeastComposition()).Residues())
+		copy(body[40:], motif.Residues())
+		return seq.MustNew("host", string(body))
+	}
+	exact := pr.BindingStrength(embed(comp), 0)
+	mut := pr.BindingStrength(embed(seq.Mutate(rng, comp, 0.25, sampler)), 0)
+	if mut >= exact {
+		t.Errorf("25%% mutated motif strength %.3f >= exact %.3f", mut, exact)
+	}
+}
+
+func TestDifficultySequences(t *testing.T) {
+	pr := genTest(t)
+	rng := rand.New(rand.NewSource(5))
+	names := map[string]bool{}
+	for d := DifficultyEasiest; d < NumDifficulties; d++ {
+		s := pr.DifficultySequence(rng, d, 200)
+		if s.Len() != 200 {
+			t.Errorf("%v: length %d", d, s.Len())
+		}
+		names[s.Name()] = true
+		if d.PaperName() != s.Name() {
+			t.Errorf("%v name %q != %q", d, s.Name(), d.PaperName())
+		}
+	}
+	if len(names) != int(NumDifficulties) {
+		t.Error("difficulty names not distinct")
+	}
+	// Harder sequences have affinity for more motifs.
+	count := func(d Difficulty) int {
+		s := pr.DifficultySequence(rand.New(rand.NewSource(6)), d, 240)
+		n := 0
+		for _, a := range pr.MotifAffinity(s) {
+			if a > motifMatchFrac {
+				n++
+			}
+		}
+		return n
+	}
+	if count(DifficultyEasiest) != 0 {
+		t.Error("easiest sequence carries motifs")
+	}
+	if count(DifficultyHardest) < 3 {
+		t.Errorf("hardest sequence carries %d motifs, want >= 3", count(DifficultyHardest))
+	}
+}
+
+func TestIDLookup(t *testing.T) {
+	pr := genTest(t)
+	name := pr.Proteins[5].Name()
+	id, ok := pr.ID(name)
+	if !ok || id != 5 {
+		t.Errorf("ID(%q) = %d,%v", name, id, ok)
+	}
+}
