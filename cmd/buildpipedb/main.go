@@ -1,0 +1,55 @@
+// Command buildpipedb performs the paper's offline preprocessing step:
+// it builds the PIPE similarity database over a proteome ("completed
+// offline, beforehand, for the known natural proteins") and persists it
+// with a fingerprint of the proteome and configuration, so cmd/insips
+// (-db) and cmd/insipsd (-db) can skip the expensive engine build.
+//
+// Usage:
+//
+//	buildpipedb -proteome data/proteome.fasta -graph data/interactions.tsv \
+//	            -out data/pipe.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("buildpipedb: ")
+	var (
+		proteomePath = flag.String("proteome", "data/proteome.fasta", "proteome FASTA")
+		graphPath    = flag.String("graph", "data/interactions.tsv", "interaction TSV")
+		outPath      = flag.String("out", "data/pipe.db", "output database file")
+		threads      = flag.Int("threads", 0, "build threads (0 = all cores)")
+	)
+	flag.Parse()
+
+	proteins, err := seq.LoadFASTAFile(*proteomePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := ppigraph.LoadTSVFile(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("building similarity database over %d proteins, %d interactions...",
+		len(proteins), graph.NumEdges())
+	begin := time.Now()
+	engine, err := pipe.New(proteins, graph, pipe.Config{}, *threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.SaveDBFile(*outPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (fingerprint %x) in %v\n",
+		*outPath, engine.Fingerprint(), time.Since(begin).Round(time.Millisecond))
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -73,6 +74,10 @@ func main() {
 	if *dbPath != "" {
 		log.Printf("loading PIPE similarity database %s...", *dbPath)
 		engine, err = pipe.NewFromDBFile(proteins, graph, pipe.Config{}, *dbPath)
+		if errors.Is(err, pipe.ErrStaleDB) {
+			log.Fatalf("stale database %s: it was built for a different proteome or configuration; rebuild with cmd/buildpipedb (%v)",
+				*dbPath, err)
+		}
 	} else {
 		log.Printf("building PIPE engine over %d proteins, %d interactions...",
 			len(proteins), graph.NumEdges())

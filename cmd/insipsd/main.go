@@ -1,0 +1,125 @@
+// Command insipsd is the long-running InSiPS design & scoring service:
+// it loads a proteome and interaction network once, caches PIPE engines
+// by fingerprint, and serves synchronous batched scoring plus an
+// asynchronous design-job queue over HTTP/JSON (package server).
+//
+// Usage:
+//
+//	insipsd -addr :8080 -proteome data/proteome.fasta \
+//	        -graph data/interactions.tsv [-db data/pipe.db]
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl -d '{"query_name":"YAL054C","against":["YAL055W"]}' localhost:8080/v1/score
+//	curl -d '{"target":"YAL054C","max_generations":50}' localhost:8080/v1/designs
+//	curl localhost:8080/v1/designs/d-000001
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: intake stops, queued and
+// running design jobs finish (up to -drain-timeout, then they are
+// cancelled — jobs stop within one generation), and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insipsd: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		proteomePath = flag.String("proteome", "data/proteome.fasta", "proteome FASTA")
+		graphPath    = flag.String("graph", "data/interactions.tsv", "interaction TSV")
+		dbPath       = flag.String("db", "", "precomputed PIPE similarity database (see cmd/buildpipedb)")
+		buildThreads = flag.Int("build-threads", 0, "engine build threads (0 = all cores)")
+		queueWorkers = flag.Int("queue-workers", 2, "concurrent design jobs")
+		queueCap     = flag.Int("queue-cap", 16, "max queued design jobs before 429")
+		scoreThreads = flag.Int("score-threads", 0, "per-request thread cap for /v1/score (0 = all cores)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+	)
+	flag.Parse()
+
+	proteins, err := seq.LoadFASTAFile(*proteomePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := ppigraph.LoadTSVFile(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := server.Config{
+		Proteins:        proteins,
+		Graph:           graph,
+		DBPath:          *dbPath,
+		BuildThreads:    *buildThreads,
+		QueueWorkers:    *queueWorkers,
+		QueueCapacity:   *queueCap,
+		MaxScoreThreads: *scoreThreads,
+	}
+	if *dbPath != "" {
+		// Check staleness up front with a clear remedy, rather than
+		// silently rebuilding what the operator explicitly pointed us at.
+		dbFP, err := pipe.DBFingerprint(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want := pipe.Fingerprint(proteins, cfg.Pipe); dbFP != want {
+			log.Fatalf("stale database %s: fingerprint %x does not match this proteome/config (%x); rebuild with cmd/buildpipedb",
+				*dbPath, dbFP, want)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d proteins, %d interactions; preloading engine...",
+		len(proteins), graph.NumEdges())
+	fromDB, elapsed, err := srv.Preload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	source := "built from scratch"
+	if fromDB {
+		source = "loaded from " + *dbPath
+	}
+	log.Printf("engine ready in %v (%s)", elapsed.Round(time.Millisecond), source)
+
+	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received, draining (timeout %v)...", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		_ = httpServer.Shutdown(shutdownCtx)
+		if err := srv.Drain(shutdownCtx); err != nil {
+			log.Printf("drain: cancelled remaining jobs: %v", err)
+		}
+	}()
+	log.Printf("serving on %s (workers %d, queue %d)", *addr, *queueWorkers, *queueCap)
+	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returned because Shutdown ran; wait for the drain
+	// goroutine's job cleanup by re-draining (idempotent, already done
+	// when the goroutine finished first).
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	_ = srv.Drain(drainCtx)
+	log.Print("drained, bye")
+}

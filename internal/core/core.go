@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -206,6 +207,17 @@ func NaturalFragmentPopulation(engine *pipe.Engine, rng *rand.Rand, n, length in
 
 // Run executes the design loop to termination and returns the result.
 func (d *Designer) Run() (Result, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext executes the design loop to termination or until ctx is
+// cancelled, whichever comes first. Cancellation is observed between
+// generations, so the run stops within one generation of cancel; the
+// partial Result (curve and best-so-far of the completed generations) is
+// returned alongside ctx's error. A long-running service uses this hook,
+// together with Options.OnGeneration, to report design-job progress and
+// abort jobs promptly.
+func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 	if d.details != nil {
 		return Result{}, fmt.Errorf("core: Designer is single-use")
 	}
@@ -224,7 +236,23 @@ func (d *Designer) Run() (Result, error) {
 	} else {
 		d.engine.InitPopulation()
 	}
-	history := d.engine.Run(d.opts.Termination, func(st ga.Stats) {
+	term := d.opts.Termination
+	if term.MaxGenerations <= 0 && term.StallGenerations <= 0 {
+		term.MaxGenerations = 100
+	}
+	result := func() Result {
+		return Result{
+			Best:        bestSeq,
+			BestDetail:  bestDetail,
+			Curve:       curve,
+			Generations: len(curve),
+		}
+	}
+	for g := 0; ; g++ {
+		if err := ctx.Err(); err != nil {
+			return result(), err
+		}
+		st := d.engine.Step()
 		// Locate the generation's fittest individual's decomposition.
 		bestIdx := 0
 		for i, det := range d.details {
@@ -241,13 +269,10 @@ func (d *Designer) Run() (Result, error) {
 		if d.opts.OnGeneration != nil {
 			d.opts.OnGeneration(cp)
 		}
-	})
-	return Result{
-		Best:        bestSeq,
-		BestDetail:  bestDetail,
-		Curve:       curve,
-		Generations: len(history),
-	}, nil
+		if term.ShouldStop(g, st.BestEverGen) {
+			return result(), nil
+		}
+	}
 }
 
 // Design is the one-call convenience API: evolve an inhibitor for

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -184,6 +186,57 @@ func TestDesignRunShape(t *testing.T) {
 	}
 	if res.Best.Len() != 120 {
 		t.Errorf("best sequence length %d", res.Best.Len())
+	}
+}
+
+// TestRunContextCancelStopsWithinOneGeneration proves the service
+// contract: cancellation fired during generation g's callback stops the
+// run before generation g+1 begins, returning the partial result.
+func TestRunContextCancelStopsWithinOneGeneration(t *testing.T) {
+	_, eng := setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAfter = 3
+	gens := 0
+	opts := designOpts(10, 100, 1)
+	opts.OnGeneration = func(cp CurvePoint) {
+		gens++
+		if gens == cancelAfter {
+			cancel()
+		}
+	}
+	d, err := NewDesigner(Problem{Engine: eng, TargetID: 0, NonTargetIDs: []int{1}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if res.Generations != cancelAfter {
+		t.Errorf("ran %d generations after cancel at %d, want exactly %d",
+			res.Generations, cancelAfter, cancelAfter)
+	}
+	if len(res.Curve) != cancelAfter {
+		t.Errorf("partial curve has %d points, want %d", len(res.Curve), cancelAfter)
+	}
+}
+
+// TestRunContextAlreadyCancelled: a pre-cancelled context runs nothing.
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	_, eng := setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := NewDesigner(Problem{Engine: eng, TargetID: 0}, designOpts(10, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if res.Generations != 0 {
+		t.Errorf("pre-cancelled run executed %d generations", res.Generations)
 	}
 }
 

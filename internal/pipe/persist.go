@@ -2,6 +2,7 @@ package pipe
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,12 @@ import (
 	"repro/internal/seq"
 	"repro/internal/simindex"
 )
+
+// ErrStaleDB reports a persisted similarity database whose fingerprint
+// (or format version) does not match the proteome and configuration it
+// is being applied to. Callers detect it with errors.Is and direct the
+// user to rebuild the artifact with cmd/buildpipedb.
+var ErrStaleDB = errors.New("similarity database is stale")
 
 // The paper's workers never compute the natural proteins' similarity
 // data online: "the preprocessing is completed offline, beforehand, for
@@ -48,6 +55,50 @@ func fingerprint(proteins []seq.Sequence, cfg Config) uint64 {
 		write(p.Residues())
 	}
 	return h.Sum64()
+}
+
+// Fingerprint returns the database fingerprint of the given proteome and
+// configuration — the cache key a persisted database (or a long-running
+// service's engine cache) is validated against. Defaults are applied to
+// cfg first, so Fingerprint(p, Config{}) matches an engine built with
+// New(p, g, Config{}, n).
+func Fingerprint(proteins []seq.Sequence, cfg Config) uint64 {
+	return fingerprint(proteins, cfg.withDefaults())
+}
+
+// Fingerprint returns the engine's own fingerprint: the value SaveDB
+// stamps on the persisted database.
+func (e *Engine) Fingerprint() uint64 {
+	proteins := make([]seq.Sequence, len(e.db))
+	for i, q := range e.db {
+		proteins[i] = q.Seq
+	}
+	return fingerprint(proteins, e.cfg)
+}
+
+// DBFingerprint reads just the fingerprint stamped on a persisted
+// similarity database file, without decoding the profiles. It lets a
+// caller check staleness before committing to a full load.
+func DBFingerprint(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	// gob skips stream fields absent from the receiver, so decoding into
+	// the header-only view avoids materializing the profiles.
+	var header struct {
+		Version     int
+		Fingerprint uint64
+	}
+	if err := gob.NewDecoder(f).Decode(&header); err != nil {
+		return 0, fmt.Errorf("pipe: reading similarity database header: %w", err)
+	}
+	if header.Version != dbFileVersion {
+		return 0, fmt.Errorf("pipe: database version %d, want %d: %w",
+			header.Version, dbFileVersion, ErrStaleDB)
+	}
+	return header.Fingerprint, nil
 }
 
 // SaveDB writes the engine's precomputed similarity database to w.
@@ -92,11 +143,12 @@ func NewFromDB(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, r io.Read
 		return nil, fmt.Errorf("pipe: reading similarity database: %w", err)
 	}
 	if file.Version != dbFileVersion {
-		return nil, fmt.Errorf("pipe: database version %d, want %d", file.Version, dbFileVersion)
+		return nil, fmt.Errorf("pipe: database version %d, want %d: %w",
+			file.Version, dbFileVersion, ErrStaleDB)
 	}
 	if got := fingerprint(proteins, cfg); file.Fingerprint != got {
-		return nil, fmt.Errorf("pipe: database fingerprint %x does not match proteome/config %x",
-			file.Fingerprint, got)
+		return nil, fmt.Errorf("pipe: database fingerprint %x does not match proteome/config %x: %w",
+			file.Fingerprint, got, ErrStaleDB)
 	}
 	if len(file.Profiles) != len(proteins) {
 		return nil, fmt.Errorf("pipe: database has %d profiles for %d proteins",

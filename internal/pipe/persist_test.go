@@ -2,6 +2,7 @@ package pipe
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -31,6 +32,41 @@ func TestSaveLoadDBRoundTrip(t *testing.T) {
 	q := seq.Random(rng, "q", 140, seq.YeastComposition())
 	if got, want := loaded.Score(q, 3, 1), eng.Score(q, 3, 1); got != want {
 		t.Fatalf("query score: loaded %v, fresh %v", got, want)
+	}
+}
+
+func TestFingerprintHelpers(t *testing.T) {
+	pr, eng := testSetup(t)
+	if got, want := Fingerprint(pr.Proteins, Config{}), eng.Fingerprint(); got != want {
+		t.Errorf("Fingerprint(proteome, zero config) = %x, engine says %x", got, want)
+	}
+	path := filepath.Join(t.TempDir(), "pipe.db")
+	if err := eng.SaveDBFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := DBFingerprint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != eng.Fingerprint() {
+		t.Errorf("DBFingerprint = %x, engine %x", fp, eng.Fingerprint())
+	}
+	if _, err := DBFingerprint(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStaleDBIsDetectable(t *testing.T) {
+	pr, eng := testSetup(t)
+	var buf bytes.Buffer
+	if err := eng.SaveDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := Config{}
+	other.Index.Threshold = 40
+	_, err := NewFromDB(pr.Proteins, pr.Graph, other, &buf)
+	if !errors.Is(err, ErrStaleDB) {
+		t.Errorf("fingerprint mismatch error %v is not ErrStaleDB", err)
 	}
 }
 

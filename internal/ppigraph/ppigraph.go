@@ -163,15 +163,17 @@ func (g *Graph) Stats() DegreeStats {
 }
 
 // WriteTSV serializes the graph as a BioGRID-style two-column TSV of
-// interacting protein names, preceded by '#'-comment lines listing
-// isolated proteins so the vertex set round-trips.
+// interacting protein names, preceded by '#protein' comment lines listing
+// every vertex in ID order. ReadTSV registers those before any edge, so
+// vertex IDs — not just the vertex set — survive the round trip. That
+// matters because pipe.New requires graph vertex i to be proteome entry i;
+// a graph that came back with reshuffled IDs would no longer align with
+// the FASTA file written alongside it.
 func (g *Graph) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for id, name := range g.names {
-		if len(g.adj[id]) == 0 {
-			if _, err := fmt.Fprintf(bw, "#protein\t%s\n", name); err != nil {
-				return err
-			}
+	for _, name := range g.names {
+		if _, err := fmt.Fprintf(bw, "#protein\t%s\n", name); err != nil {
+			return err
 		}
 	}
 	var err error

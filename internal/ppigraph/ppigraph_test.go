@@ -133,6 +133,13 @@ func TestTSVRoundTrip(t *testing.T) {
 	if back.NumProteins() != g.NumProteins() || back.NumEdges() != g.NumEdges() {
 		t.Fatalf("round trip: %d/%d vs %d/%d", back.NumProteins(), back.NumEdges(), g.NumProteins(), g.NumEdges())
 	}
+	// Vertex IDs must round-trip exactly: pipe.New requires graph vertex i
+	// to be proteome entry i, so a reload must not reshuffle IDs.
+	for id := 0; id < g.NumProteins(); id++ {
+		if back.Name(id) != g.Name(id) {
+			t.Errorf("vertex %d: round trip renamed %q to %q", id, g.Name(id), back.Name(id))
+		}
+	}
 	// Edge set must match by name.
 	g.Edges(func(a, b int) bool {
 		ba, ok1 := back.ID(g.Name(a))

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/seq"
+)
+
+// ---- JSON wire types ----
+
+// ScoreRequest asks for PIPE scores of one query against a batch of
+// proteome proteins. Exactly one of Query (a novel sequence) or
+// QueryName (a proteome protein) must be set. Against lists proteome
+// protein names; AgainstAll scores the whole proteome instead.
+type ScoreRequest struct {
+	Query      *SequenceJSON `json:"query,omitempty"`
+	QueryName  string        `json:"query_name,omitempty"`
+	Against    []string      `json:"against,omitempty"`
+	AgainstAll bool          `json:"against_all,omitempty"`
+	// Threads is this request's thread budget for ScoreMany, clamped to
+	// the server's MaxScoreThreads. 0 means the server maximum.
+	Threads int `json:"threads,omitempty"`
+}
+
+// SequenceJSON is a named amino-acid sequence on the wire.
+type SequenceJSON struct {
+	Name     string `json:"name"`
+	Residues string `json:"residues"`
+}
+
+// PairScore is one scored pair.
+type PairScore struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// ScoreResponse returns the batch scores.
+type ScoreResponse struct {
+	Query     string      `json:"query"`
+	Scores    []PairScore `json:"scores"`
+	Threads   int         `json:"threads"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// DesignRequest submits an asynchronous design campaign. Zero-valued
+// fields take service defaults (modest sizes suited to interactive use;
+// the paper's production parameters are far larger).
+type DesignRequest struct {
+	Target        string   `json:"target"`
+	NonTargets    []string `json:"non_targets,omitempty"`
+	MaxNonTargets int      `json:"max_non_targets,omitempty"` // default 25, used when NonTargets is empty
+
+	Population     int     `json:"population,omitempty"`      // default 100
+	SeqLen         int     `json:"seq_len,omitempty"`         // default 120
+	PCrossover     float64 `json:"p_crossover,omitempty"`     // default 0.5
+	PMutate        float64 `json:"p_mutate,omitempty"`        // default 0.4
+	PCopy          float64 `json:"p_copy,omitempty"`          // default 0.1
+	PMutateAA      float64 `json:"p_mutate_aa,omitempty"`     // default 0.05
+	Seed           int64   `json:"seed,omitempty"`            // default 1
+	MinGenerations int     `json:"min_generations,omitempty"` // default 20
+	StallGens      int     `json:"stall_generations,omitempty"`
+	MaxGenerations int     `json:"max_generations,omitempty"` // default 100
+	WarmStart      *bool   `json:"warm_start,omitempty"`      // default true
+	Workers        int     `json:"workers,omitempty"`         // evaluator workers, default 2
+	Threads        int     `json:"threads,omitempty"`         // threads per worker, default 2
+}
+
+// JobJSON is the observable state of a design job.
+type JobJSON struct {
+	ID          string           `json:"id"`
+	State       JobState         `json:"state"`
+	Target      string           `json:"target"`
+	NonTargets  int              `json:"non_targets"`
+	Created     time.Time        `json:"created"`
+	Started     *time.Time       `json:"started,omitempty"`
+	Finished    *time.Time       `json:"finished,omitempty"`
+	Generations int              `json:"generations"`
+	Curve       []CurvePointJSON `json:"curve,omitempty"`
+	Best        *DetailJSON      `json:"best,omitempty"`
+	Sequence    string           `json:"sequence,omitempty"`
+	FASTA       string           `json:"fasta,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// CurvePointJSON is one generation of the learning curve (Figure 7).
+type CurvePointJSON struct {
+	Generation   int     `json:"generation"`
+	Fitness      float64 `json:"fitness"`
+	Target       float64 `json:"target"`
+	MaxNonTarget float64 `json:"max_non_target"`
+	AvgNonTarget float64 `json:"avg_non_target"`
+}
+
+// DetailJSON is the score decomposition of the best design.
+type DetailJSON struct {
+	Fitness      float64 `json:"fitness"`
+	Target       float64 `json:"target"`
+	MaxNonTarget float64 `json:"max_non_target"`
+	AvgNonTarget float64 `json:"avg_non_target"`
+}
+
+// HealthJSON is the /healthz body.
+type HealthJSON struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Proteins      int     `json:"proteins"`
+	Interactions  int     `json:"interactions"`
+	QueueDepth    int     `json:"queue_depth"`
+	Running       int     `json:"running"`
+	EnginesCached int     `json:"engines_cached"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) clampThreads(n int) int {
+	if n <= 0 || n > s.cfg.MaxScoreThreads {
+		return s.cfg.MaxScoreThreads
+	}
+	return n
+}
+
+// resolveNames maps proteome protein names to IDs, reporting the first
+// unknown name.
+func (s *Server) resolveNames(names []string) ([]int, error) {
+	ids := make([]int, len(names))
+	for i, name := range names {
+		id, ok := s.cfg.Graph.ID(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("protein %q not in the proteome", name)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.jobs.gauges()
+	status := "ok"
+	code := http.StatusOK
+	if g.Draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthJSON{
+		Status:        status,
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Proteins:      len(s.cfg.Proteins),
+		Interactions:  s.cfg.Graph.NumEdges(),
+		QueueDepth:    g.QueueDepth,
+		Running:       g.Running,
+		EnginesCached: s.engines.size(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g := s.jobs.gauges()
+	g.CacheSize = s.engines.size()
+	s.metrics.render(w, g)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	engine, err := s.engines.get(s.cfg.Pipe)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "engine: %v", err)
+		return
+	}
+
+	var query seq.Sequence
+	switch {
+	case req.Query != nil && req.QueryName != "":
+		writeError(w, http.StatusBadRequest, "set query or query_name, not both")
+		return
+	case req.Query != nil:
+		query, err = seq.New(req.Query.Name, req.Query.Residues)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad query sequence: %v", err)
+			return
+		}
+	case req.QueryName != "":
+		id, ok := s.cfg.Graph.ID(req.QueryName)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "protein %q not in the proteome", req.QueryName)
+			return
+		}
+		query = s.cfg.Proteins[id]
+	default:
+		writeError(w, http.StatusBadRequest, "need query (novel sequence) or query_name (proteome protein)")
+		return
+	}
+
+	var ids []int
+	var names []string
+	if req.AgainstAll {
+		ids = make([]int, len(s.cfg.Proteins))
+		names = make([]string, len(s.cfg.Proteins))
+		for i := range ids {
+			ids[i] = i
+			names[i] = s.cfg.Graph.Name(i)
+		}
+	} else {
+		if len(req.Against) == 0 {
+			writeError(w, http.StatusBadRequest, "need against (protein names) or against_all")
+			return
+		}
+		names = req.Against
+		if ids, err = s.resolveNames(req.Against); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	threads := s.clampThreads(req.Threads)
+	begin := time.Now()
+	scores := engine.ScoreMany(query, ids, threads)
+	elapsed := time.Since(begin)
+
+	resp := ScoreResponse{
+		Query:     query.Name(),
+		Scores:    make([]PairScore, len(ids)),
+		Threads:   threads,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	for i, sc := range scores {
+		resp.Scores[i] = PairScore{Name: names[i], Score: sc}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// specFromRequest validates a design request and resolves it into a
+// runnable spec, applying service defaults.
+func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
+	if req.Target == "" {
+		return designSpec{}, fmt.Errorf("need target (protein name)")
+	}
+	targetID, ok := s.cfg.Graph.ID(req.Target)
+	if !ok {
+		return designSpec{}, fmt.Errorf("target %q not in the proteome", req.Target)
+	}
+	var ntIDs []int
+	if len(req.NonTargets) > 0 {
+		var err error
+		if ntIDs, err = s.resolveNames(req.NonTargets); err != nil {
+			return designSpec{}, err
+		}
+	} else {
+		maxNT := req.MaxNonTargets
+		if maxNT <= 0 {
+			maxNT = 25
+		}
+		for id := 0; id < s.cfg.Graph.NumProteins() && len(ntIDs) < maxNT; id++ {
+			if id != targetID {
+				ntIDs = append(ntIDs, id)
+			}
+		}
+	}
+
+	def := func(v, d int) int {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	deff := func(v, d float64) float64 {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	params := ga.Params{
+		PopulationSize:  def(req.Population, 100),
+		SeqLen:          def(req.SeqLen, 120),
+		PCrossover:      deff(req.PCrossover, 0.5),
+		PMutate:         deff(req.PMutate, 0.4),
+		PCopy:           deff(req.PCopy, 0.1),
+		PMutateAA:       deff(req.PMutateAA, 0.05),
+		CrossoverMargin: 10,
+		Seed:            req.Seed,
+	}
+	if params.Seed == 0 {
+		params.Seed = 1
+	}
+	warm := true
+	if req.WarmStart != nil {
+		warm = *req.WarmStart
+	}
+	spec := designSpec{
+		TargetID:     targetID,
+		TargetName:   req.Target,
+		NonTargetIDs: ntIDs,
+		Pipe:         s.cfg.Pipe,
+		GA:           params,
+		Cluster: cluster.Config{
+			Workers:          def(req.Workers, 2),
+			ThreadsPerWorker: def(req.Threads, 2),
+		},
+		Termination: ga.Termination{
+			MinGenerations:   def(req.MinGenerations, 20),
+			StallGenerations: def(req.StallGens, 50),
+			MaxGenerations:   def(req.MaxGenerations, 100),
+		},
+		WarmStart: warm,
+	}
+	if spec.GA.SeqLen < 2*spec.GA.CrossoverMargin+2 {
+		return designSpec{}, fmt.Errorf("seq_len %d too short: need >= %d",
+			spec.GA.SeqLen, 2*spec.GA.CrossoverMargin+2)
+	}
+	return spec, nil
+}
+
+func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	spec, err := s.specFromRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.jobs.submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobJSON(j.snapshot(), false))
+}
+
+func (s *Server) handleDesignList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.list()
+	out := make([]JobJSON, len(snaps))
+	for i, snap := range snaps {
+		out[i] = s.jobJSON(snap, false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDesignGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobJSON(j.snapshot(), true))
+}
+
+func (s *Server) handleDesignCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.cancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobJSON(snap, false))
+}
+
+// jobJSON renders a snapshot; withCurve includes the full learning
+// curve (job listings omit it to stay light).
+func (s *Server) jobJSON(snap jobSnapshot, withCurve bool) JobJSON {
+	out := JobJSON{
+		ID:          snap.ID,
+		State:       snap.State,
+		Target:      snap.Spec.TargetName,
+		NonTargets:  len(snap.Spec.NonTargetIDs),
+		Created:     snap.Created,
+		Generations: len(snap.Curve),
+		Error:       snap.Err,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		out.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		out.Finished = &t
+	}
+	if withCurve {
+		out.Curve = make([]CurvePointJSON, len(snap.Curve))
+		for i, cp := range snap.Curve {
+			out.Curve[i] = CurvePointJSON{
+				Generation:   cp.Generation,
+				Fitness:      cp.Fitness,
+				Target:       cp.Target,
+				MaxNonTarget: cp.MaxNonTarget,
+				AvgNonTarget: cp.AvgNonTarget,
+			}
+		}
+	}
+	if res := snap.Result; res != nil && res.Best.Len() > 0 {
+		out.Best = &DetailJSON{
+			Fitness:      res.BestDetail.Fitness,
+			Target:       res.BestDetail.Target,
+			MaxNonTarget: res.BestDetail.MaxNonTarget,
+			AvgNonTarget: res.BestDetail.AvgNonTarget,
+		}
+		designed := res.Best.WithName("anti-" + snap.Spec.TargetName)
+		out.Sequence = designed.Residues()
+		out.FASTA = fastaString(designed)
+	}
+	return out
+}
+
+// fastaString renders one sequence as FASTA text.
+func fastaString(sq seq.Sequence) string {
+	var b strings.Builder
+	_ = seq.WriteFASTA(&b, []seq.Sequence{sq}, 60)
+	return b.String()
+}

@@ -1,0 +1,344 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// JobState is the lifecycle state of a design job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// ErrQueueFull is returned by submit when the job queue is at capacity —
+// the service's backpressure signal, surfaced over HTTP as 429.
+var ErrQueueFull = errors.New("server: design queue is full")
+
+// ErrDraining is returned by submit once graceful shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting new jobs")
+
+// designSpec is a fully validated design request, resolved to protein
+// IDs and concrete GA/cluster parameters.
+type designSpec struct {
+	TargetID     int
+	TargetName   string
+	NonTargetIDs []int
+	Pipe         pipe.Config
+	GA           ga.Params
+	Cluster      cluster.Config
+	Termination  ga.Termination
+	WarmStart    bool
+}
+
+// job is one asynchronous design campaign. Mutable fields are guarded by
+// mu; the HTTP handlers read snapshots, the owning worker writes.
+type job struct {
+	id     string
+	spec   designSpec
+	cancel context.CancelFunc
+	ctx    context.Context
+
+	mu         sync.Mutex
+	state      JobState
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	curve      []core.CurvePoint
+	result     *core.Result
+	bestSoFar  seq.Sequence
+	errMessage string
+}
+
+func (j *job) snapshot() jobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobSnapshot{
+		ID:       j.id,
+		Spec:     j.spec,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Curve:    append([]core.CurvePoint(nil), j.curve...),
+		Result:   j.result,
+		Err:      j.errMessage,
+	}
+}
+
+// jobSnapshot is an immutable copy of a job's observable state.
+type jobSnapshot struct {
+	ID       string
+	Spec     designSpec
+	State    JobState
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Curve    []core.CurvePoint
+	Result   *core.Result
+	Err      string
+}
+
+// jobStore owns the job table, the bounded queue, and the worker pool.
+type jobStore struct {
+	engines *engineCache
+	metrics *metrics
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for stable listings
+	nextID   int
+	running  int
+	draining bool
+	closed   bool
+}
+
+func newJobStore(engines *engineCache, m *metrics, workers, capacity int) *jobStore {
+	s := &jobStore{
+		engines: engines,
+		metrics: m,
+		queue:   make(chan *job, capacity),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submit validates queue capacity and registers the job. The queue send
+// happens under the store lock so drain's close(queue) cannot race a
+// send; the send itself never blocks (capacity is checked by the
+// non-blocking select).
+func (s *jobStore) submit(spec designSpec) (*job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:    spec,
+		cancel:  cancel,
+		ctx:     ctx,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.metrics.jobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.metrics.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("d-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.metrics.jobsAccepted.Add(1)
+	return j, nil
+}
+
+// get returns the job by ID.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns snapshots of all jobs in submission order.
+func (s *jobStore) list() []jobSnapshot {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]jobSnapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// cancelJob cancels a job in any non-terminal state. A queued job is
+// marked cancelled immediately (the worker will skip it); a running job
+// is interrupted via its context and the worker finalizes the state.
+func (s *jobStore) cancelJob(id string) (jobSnapshot, error) {
+	j, ok := s.get(id)
+	if !ok {
+		return jobSnapshot{}, fmt.Errorf("server: no job %q", id)
+	}
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobCancelled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.snapshot(), nil
+}
+
+// gauges reports the store's live counts for /metrics and /healthz.
+func (s *jobStore) gauges() gauges {
+	s.mu.Lock()
+	byState := make(map[JobState]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	g := gauges{
+		QueueDepth:  len(s.queue),
+		Running:     s.running,
+		JobsByState: byState,
+		Draining:    s.draining,
+	}
+	s.mu.Unlock()
+	return g
+}
+
+// worker drains the queue, running one design campaign at a time.
+func (s *jobStore) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job end to end: engine lookup (cache), designer
+// construction, and the cancellable GA loop with per-generation progress
+// recording.
+func (s *jobStore) run(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
+
+	finish := func(state JobState, res *core.Result, err error) {
+		j.mu.Lock()
+		j.state = state
+		j.finished = time.Now()
+		j.result = res
+		if err != nil {
+			j.errMessage = err.Error()
+		}
+		j.mu.Unlock()
+	}
+
+	engine, err := s.engines.get(j.spec.Pipe)
+	if err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
+	opts := core.Options{
+		GA:          j.spec.GA,
+		Cluster:     j.spec.Cluster,
+		Termination: j.spec.Termination,
+		WarmStart:   j.spec.WarmStart,
+		OnGeneration: func(cp core.CurvePoint) {
+			j.mu.Lock()
+			j.curve = append(j.curve, cp)
+			j.mu.Unlock()
+		},
+	}
+	designer, err := core.NewDesigner(core.Problem{
+		Engine:       engine,
+		TargetID:     j.spec.TargetID,
+		NonTargetIDs: j.spec.NonTargetIDs,
+	}, opts)
+	if err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
+	res, err := designer.RunContext(j.ctx)
+	switch {
+	case err == nil:
+		finish(JobDone, &res, nil)
+	case errors.Is(err, context.Canceled):
+		// Keep the partial result: the best sequence of the completed
+		// generations is still a valid (if under-evolved) design.
+		finish(JobCancelled, &res, nil)
+	default:
+		finish(JobFailed, nil, err)
+	}
+}
+
+// drain stops intake and waits for queued and running jobs to finish.
+// If ctx expires first, the remaining jobs are cancelled and the wait
+// resumes until the workers exit (prompt, since RunContext observes
+// cancellation within a generation).
+func (s *jobStore) drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+	}
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: abort everything still in flight and wait for the
+	// workers to notice.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the service's operational counters: per-route
+// request counts and latency, engine-cache effectiveness, and job-queue
+// accounting. Queue depth and jobs-by-state are computed at render time
+// from the live job store (they are gauges, not counters).
+type metrics struct {
+	start time.Time
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	jobsAccepted atomic.Int64
+	jobsRejected atomic.Int64 // queue-full 429s
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	nanosum atomic.Int64 // total handler latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (m *metrics) route(name string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[name]
+	if !ok {
+		rs = &routeStats{}
+		m.routes[name] = rs
+	}
+	return rs
+}
+
+// observe records one served request on a route.
+func (rs *routeStats) observe(status int, elapsed time.Duration) {
+	rs.count.Add(1)
+	rs.nanosum.Add(int64(elapsed))
+	if status >= 400 {
+		rs.errors.Add(1)
+	}
+}
+
+// statusRecorder captures the status code a handler writes so the
+// instrumentation middleware can count errors.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route request counting and latency
+// accumulation.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	rs := m.route(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(rec, r)
+		rs.observe(rec.status, time.Since(begin))
+	}
+}
+
+// gauges is the point-in-time state the job store contributes to the
+// metrics page.
+type gauges struct {
+	QueueDepth  int // jobs accepted but not yet running
+	Running     int // jobs currently executing
+	JobsByState map[JobState]int
+	Draining    bool
+	CacheSize   int
+}
+
+// render writes the Prometheus text exposition format. Only stdlib types
+// are involved; the format is plain enough to scrape or eyeball.
+func (m *metrics) render(w http.ResponseWriter, g gauges) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	p("# HELP insipsd_uptime_seconds Time since the service started.")
+	p("insipsd_uptime_seconds %.3f", time.Since(m.start).Seconds())
+
+	p("# HELP insipsd_queue_depth Design jobs accepted and waiting for a worker.")
+	p("insipsd_queue_depth %d", g.QueueDepth)
+	p("# HELP insipsd_jobs_running Design jobs currently executing.")
+	p("insipsd_jobs_running %d", g.Running)
+	p("# HELP insipsd_jobs Jobs in the store by state.")
+	states := make([]string, 0, len(g.JobsByState))
+	for st := range g.JobsByState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		p("insipsd_jobs{state=%q} %d", st, g.JobsByState[JobState(st)])
+	}
+	p("# HELP insipsd_jobs_accepted_total Design jobs admitted to the queue.")
+	p("insipsd_jobs_accepted_total %d", m.jobsAccepted.Load())
+	p("# HELP insipsd_jobs_rejected_total Design jobs rejected with 429 (queue full or draining).")
+	p("insipsd_jobs_rejected_total %d", m.jobsRejected.Load())
+
+	p("# HELP insipsd_engine_cache_hits_total Engine-cache lookups served from cache.")
+	p("insipsd_engine_cache_hits_total %d", m.cacheHits.Load())
+	p("# HELP insipsd_engine_cache_misses_total Engine-cache lookups that built (or loaded) an engine.")
+	p("insipsd_engine_cache_misses_total %d", m.cacheMisses.Load())
+	p("# HELP insipsd_engine_cache_size Engines resident in the cache.")
+	p("insipsd_engine_cache_size %d", g.CacheSize)
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	routes := make(map[string]*routeStats, len(names))
+	for _, name := range names {
+		routes[name] = m.routes[name]
+	}
+	m.mu.Unlock()
+	p("# HELP insipsd_http_requests_total Requests served, by route.")
+	for _, name := range names {
+		p("insipsd_http_requests_total{route=%q} %d", name, routes[name].count.Load())
+	}
+	p("# HELP insipsd_http_request_errors_total Responses with status >= 400, by route.")
+	for _, name := range names {
+		p("insipsd_http_request_errors_total{route=%q} %d", name, routes[name].errors.Load())
+	}
+	p("# HELP insipsd_http_request_seconds_sum Total handler latency, by route.")
+	for _, name := range names {
+		p("insipsd_http_request_seconds_sum{route=%q} %.6f",
+			name, time.Duration(routes[name].nanosum.Load()).Seconds())
+	}
+}

@@ -1,0 +1,110 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func unmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+// TestQueueStressConcurrentSubmitters hammers the job queue from many
+// goroutines at once — submissions, polls, and cancellations racing the
+// worker pool — and checks the accounting stays consistent. Run with
+// -race; the job store, queue, and metrics are the service's only
+// mutable shared state.
+func TestQueueStressConcurrentSubmitters(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, func(c *server.Config) {
+		c.QueueWorkers = 3
+		c.QueueCapacity = 4
+	})
+
+	const (
+		submitters    = 8
+		perSubmitter  = 5
+		totalAttempts = submitters * perSubmitter
+	)
+	var (
+		accepted  sync.Map // job ID -> struct{}
+		nAccepted atomic.Int64
+		nRejected atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				target := pr.Proteins[(s*perSubmitter+i)%len(pr.Proteins)].Name()
+				req := tinyDesign(target, 2)
+				req.Seed = int64(s*100 + i + 1)
+				resp, data := postJSON(t, ts.URL+"/v1/designs", req)
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var job server.JobJSON
+					if err := unmarshal(data, &job); err != nil {
+						t.Errorf("submitter %d: %v", s, err)
+						return
+					}
+					accepted.Store(job.ID, s)
+					nAccepted.Add(1)
+					// Cancel a third of the accepted jobs, racing the workers.
+					if i%3 == 0 {
+						creq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/designs/"+job.ID, nil)
+						cresp, err := http.DefaultClient.Do(creq)
+						if err != nil {
+							t.Errorf("cancel: %v", err)
+							return
+						}
+						cresp.Body.Close()
+					}
+				case http.StatusTooManyRequests:
+					nRejected.Add(1)
+					time.Sleep(5 * time.Millisecond) // honor backpressure, then retry next i
+				default:
+					t.Errorf("submitter %d: unexpected status %d: %s", s, resp.StatusCode, data)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	if got := nAccepted.Load() + nRejected.Load(); got != totalAttempts {
+		t.Fatalf("accounted %d attempts, want %d", got, totalAttempts)
+	}
+	if nAccepted.Load() == 0 {
+		t.Fatal("queue rejected every submission; stress test exercised nothing")
+	}
+	t.Logf("accepted %d, rejected %d of %d submissions",
+		nAccepted.Load(), nRejected.Load(), totalAttempts)
+
+	// Every accepted job must reach a terminal state: done, or cancelled
+	// for the ones we raced a DELETE against.
+	accepted.Range(func(key, _ any) bool {
+		id := key.(string)
+		j := waitJob(t, ts, id, 120*time.Second, terminal)
+		if j.State != server.JobDone && j.State != server.JobCancelled {
+			t.Errorf("job %s finished %s (err %q)", id, j.State, j.Error)
+		}
+		return true
+	})
+
+	// The listing agrees with what we submitted.
+	var list []server.JobJSON
+	getJSON(t, ts.URL+"/v1/designs", &list)
+	if int64(len(list)) != nAccepted.Load() {
+		t.Errorf("listing has %d jobs, accepted %d", len(list), nAccepted.Load())
+	}
+	for _, j := range list {
+		if !j.State.Terminal() {
+			t.Errorf("job %s still %s after all waits", j.ID, j.State)
+		}
+	}
+}

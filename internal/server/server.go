@@ -1,0 +1,148 @@
+// Package server is the long-running InSiPS design & scoring service
+// behind cmd/insipsd. The one-shot CLIs rebuild the PIPE similarity
+// database on every invocation — the exact preprocessing cost the paper
+// moves offline; a service instead loads the proteome and interaction
+// graph once, caches pipe.Engine instances keyed by the persistence
+// fingerprint, and serves:
+//
+//   - POST /v1/score — synchronous batched scoring (Engine.ScoreMany)
+//     with a per-request thread budget;
+//   - POST /v1/designs — asynchronous design campaigns on a bounded
+//     worker-pool job queue (429 backpressure when full), with
+//     per-generation progress via GET /v1/designs/{id} and prompt
+//     cancellation via DELETE /v1/designs/{id};
+//   - GET /healthz and GET /metrics — liveness plus queue depth, jobs by
+//     state, engine-cache hits/misses, and request-latency counters.
+//
+// Everything is stdlib net/http; Drain implements graceful SIGTERM
+// shutdown (stop intake, finish running jobs, then abort stragglers).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/ppigraph"
+	"repro/internal/seq"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Proteins and Graph are the proteome and known-interaction network
+	// served by every engine configuration. Required.
+	Proteins []seq.Sequence
+	Graph    *ppigraph.Graph
+	// Pipe is the default engine configuration used when a request does
+	// not ask for a variant. Zero value = package pipe defaults.
+	Pipe pipe.Config
+	// DBPath optionally points at a persisted similarity database
+	// (cmd/buildpipedb output); engine loads whose fingerprint matches it
+	// skip the expensive build.
+	DBPath string
+	// BuildThreads parallelizes engine construction (<= 0: GOMAXPROCS).
+	BuildThreads int
+	// QueueWorkers is the number of concurrent design jobs. Default 2.
+	QueueWorkers int
+	// QueueCapacity bounds the number of accepted-but-not-running jobs;
+	// submissions beyond it receive 429. Default 16.
+	QueueCapacity int
+	// MaxScoreThreads caps the per-request thread budget of /v1/score.
+	// Default GOMAXPROCS.
+	MaxScoreThreads int
+	// Engines are pre-built engines seeded into the cache under their own
+	// fingerprints (embedders and tests that already paid for a build).
+	Engines []*pipe.Engine
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueWorkers <= 0 {
+		c.QueueWorkers = 2
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 16
+	}
+	if c.MaxScoreThreads <= 0 {
+		c.MaxScoreThreads = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the service. Create with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	engines *engineCache
+	jobs    *jobStore
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New validates the configuration and starts the worker pool. No engine
+// is built yet; call Preload to pay the default-configuration build cost
+// up front rather than on the first request.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Proteins) == 0 || cfg.Graph == nil {
+		return nil, fmt.Errorf("server: need a proteome and an interaction graph")
+	}
+	if cfg.Graph.NumProteins() != len(cfg.Proteins) {
+		return nil, fmt.Errorf("server: %d proteins but graph has %d vertices",
+			len(cfg.Proteins), cfg.Graph.NumProteins())
+	}
+	m := newMetrics()
+	engines := newEngineCache(cfg.Proteins, cfg.Graph, cfg.DBPath, cfg.BuildThreads, m)
+	for _, eng := range cfg.Engines {
+		engines.seed(eng)
+	}
+	s := &Server{
+		cfg:     cfg,
+		engines: engines,
+		jobs:    newJobStore(engines, m, cfg.QueueWorkers, cfg.QueueCapacity),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/score", s.metrics.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/designs", s.metrics.instrument("designs_create", s.handleDesignCreate))
+	s.mux.HandleFunc("GET /v1/designs", s.metrics.instrument("designs_list", s.handleDesignList))
+	s.mux.HandleFunc("GET /v1/designs/{id}", s.metrics.instrument("designs_get", s.handleDesignGet))
+	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.metrics.instrument("designs_cancel", s.handleDesignCancel))
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Preload builds (or loads from the persisted database) the engine for
+// the default configuration, so the first request does not pay the
+// preprocessing cost. It reports whether the engine came from the
+// persisted database and how long the load took.
+func (s *Server) Preload() (fromDB bool, elapsed time.Duration, err error) {
+	begin := time.Now()
+	if _, err = s.engines.get(s.cfg.Pipe); err != nil {
+		return false, 0, err
+	}
+	key := pipe.Fingerprint(s.cfg.Proteins, s.cfg.Pipe)
+	s.engines.mu.Lock()
+	if e, ok := s.engines.entries[key]; ok {
+		fromDB = e.fromDB
+	}
+	s.engines.mu.Unlock()
+	return fromDB, time.Since(begin), nil
+}
+
+// Drain gracefully shuts the job subsystem down: new submissions are
+// rejected, queued and running jobs run to completion, and if ctx
+// expires first the stragglers are cancelled (they stop within one
+// generation). Call after http.Server.Shutdown so in-flight HTTP
+// requests have settled.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
