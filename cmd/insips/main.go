@@ -10,19 +10,42 @@
 //	insips -proteome data/proteome.fasta -graph data/interactions.tsv \
 //	       -target YBL051C -pop 200 -min-gens 250 -stall 50 \
 //	       -out anti-YBL051C.fasta
+//
+// Distributed operation (the paper's master/worker deployment, with
+// fault tolerance): start any number of workers, which need no data
+// files — the master broadcasts the database —
+//
+//	insips -worker HOST:PORT
+//
+// then run the design with a listening master:
+//
+//	insips -target YBL051C -listen :7631 -min-workers 4 [-lease 30s] \
+//	       [-max-attempts 3] [-heartbeat 5s]
+//
+// Candidate evaluation fans out over the TCP cluster under task leases:
+// tasks held by crashed or hung workers are re-issued automatically, and
+// workers reconnect with backoff if the master restarts (see
+// internal/netcluster).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/island"
+	"repro/internal/netcluster"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
 	"repro/internal/seq"
@@ -56,8 +79,37 @@ func main() {
 		islands  = flag.Int("islands", 0, "run the multi-rack island model with this many masters (0 = single master)")
 		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
 		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
+
+		workerAddr  = flag.String("worker", "", "run as an evaluation worker serving the master at this address (no data files needed)")
+		listenAddr  = flag.String("listen", "", "evaluate candidates over TCP workers; listen for them on this address")
+		minWorkers  = flag.Int("min-workers", 1, "wait for this many workers before designing (-listen mode)")
+		lease       = flag.Duration("lease", 30*time.Second, "task lease before the master re-issues it (-listen mode)")
+		maxAttempts = flag.Int("max-attempts", 3, "dispatch attempts before a task is abandoned (-listen mode)")
+		heartbeat   = flag.Duration("heartbeat", 0, "liveness ping interval, broadcast to workers (0 = derived from -lease)")
+		backoffMin  = flag.Duration("backoff-min", 100*time.Millisecond, "worker reconnect backoff floor (-worker mode)")
+		backoffMax  = flag.Duration("backoff-max", 10*time.Second, "worker reconnect backoff ceiling (-worker mode)")
 	)
 	flag.Parse()
+
+	if *workerAddr != "" {
+		if *listenAddr != "" {
+			log.Fatal("-worker and -listen are mutually exclusive")
+		}
+		// Workers are data-free: the master broadcasts the proteome and
+		// interaction network, and the engine is rebuilt (or reused, on
+		// reconnect) from that. The loop survives master restarts; stop
+		// with SIGINT/SIGTERM.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("worker: serving master at %s (interrupt to stop)", *workerAddr)
+		n, _ := netcluster.RunWorkerLoop(ctx, *workerAddr, netcluster.WorkerOptions{
+			ReconnectMin: *backoffMin,
+			ReconnectMax: *backoffMax,
+			Logf:         log.Printf,
+		})
+		log.Printf("worker: processed %d candidates", n)
+		return
+	}
 	if *targetName == "" {
 		log.Fatal("need -target NAME")
 	}
@@ -130,6 +182,32 @@ func main() {
 			}
 		}
 	}
+	var master *netcluster.Master
+	if *listenAddr != "" {
+		if *islands > 1 {
+			log.Fatal("-listen (TCP workers) cannot be combined with -islands; islands evaluate on in-process pools")
+		}
+		ln, err := net.Listen("tcp", *listenAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		master = netcluster.NewMasterOptions(
+			netcluster.NewSetup(engine, targetID, ntIDs, *threads), ln,
+			netcluster.Options{
+				LeaseTimeout:      *lease,
+				MaxAttempts:       *maxAttempts,
+				HeartbeatInterval: *heartbeat,
+			})
+		defer master.Close()
+		log.Printf("master: listening on %s; waiting for %d worker(s) — start them with: insips -worker %s",
+			master.Addr(), *minWorkers, master.Addr())
+		for master.Workers() < *minWorkers {
+			time.Sleep(50 * time.Millisecond)
+		}
+		log.Printf("master: %d worker(s) connected (lease %s, max %d attempts)",
+			master.Workers(), *lease, *maxAttempts)
+		opts.Evaluate = master.EvaluateAll
+	}
 	if *islands > 1 {
 		// Multi-rack mode (paper Section 3.2): one master per rack,
 		// syncing after each round.
@@ -162,6 +240,11 @@ func main() {
 	res, err := core.Design(engine, targetID, ntIDs, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if master != nil {
+		st := master.Stats()
+		log.Printf("cluster: %d tasks completed, %d re-issued, %d leases expired, %d abandoned, %d worker disconnects",
+			st.TasksCompleted, st.TasksReissued, st.LeasesExpired, st.TasksQuarantined, st.WorkerDisconnects)
 	}
 
 	fmt.Printf("designed anti-%s after %d generations\n", *targetName, res.Generations)

@@ -77,7 +77,10 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(9))
 	candidates := core.NaturalFragmentPopulation(engine, rng, 6, 130)
-	remote := master.EvaluateAll(candidates)
+	remote, err := master.EvaluateAll(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pool, err := cluster.New(engine, target, nonTargets, cluster.Config{Workers: 2, ThreadsPerWorker: 2})
 	if err != nil {
 		t.Fatal(err)

@@ -48,6 +48,16 @@ type Result struct {
 	Index           int
 	TargetScore     float64
 	NonTargetScores []float64
+	// Attempts is the number of dispatch attempts a distributed run
+	// needed to land the task (1 = first try); in-process evaluation,
+	// which cannot lose tasks, leaves it zero.
+	Attempts int
+	// Err is set when a distributed run abandoned the task — e.g. every
+	// attempt hit a crashed worker or an expired lease (see
+	// netcluster.ErrTaskAbandoned). The scores are then meaningless and
+	// the caller decides the fallback (core scores such candidates as
+	// zero fitness).
+	Err error
 }
 
 // Report is the instrumented outcome of evaluating one generation; the

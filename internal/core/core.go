@@ -106,6 +106,14 @@ type Options struct {
 	// OnGeneration, if non-nil, observes each generation's curve point as
 	// the run progresses.
 	OnGeneration func(CurvePoint)
+	// Evaluate, if non-nil, replaces the in-process pool as the
+	// fitness-evaluation backend — e.g. a netcluster.Master's
+	// EvaluateAll for a distributed run. It must return one Result per
+	// candidate, indexed like seqs. A candidate whose Result.Err is set
+	// (a task the cluster abandoned) scores zero fitness for that
+	// generation; a call-level error aborts the run with a partial
+	// Result.
+	Evaluate func(seqs []seq.Sequence) ([]cluster.Result, error)
 	// WarmStart seeds the initial population with chimeras spliced from
 	// random natural-protein fragments instead of uniform random
 	// sequences. The paper notes "any set of protein sequences can be
@@ -137,6 +145,7 @@ type Designer struct {
 	engine  *ga.Engine
 
 	details []Detail // details of the current generation, by index
+	evalErr error    // first Evaluate backend failure, surfaced by RunContext
 }
 
 // NewDesigner validates the problem and wires the GA to the master/worker
@@ -162,10 +171,31 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 // evaluation (Algorithm 1's dispatch loop) and converts PIPE scores to
 // fitness, stashing the decomposition for curve recording.
 func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
-	results := d.pool.EvaluateAll(seqs)
 	fits := make([]float64, len(seqs))
 	d.details = make([]Detail, len(seqs))
+	var results []cluster.Result
+	if d.opts.Evaluate != nil {
+		var err error
+		results, err = d.opts.Evaluate(seqs)
+		if err != nil || len(results) != len(seqs) {
+			if err == nil {
+				err = fmt.Errorf("core: evaluate backend returned %d results for %d candidates", len(results), len(seqs))
+			}
+			if d.evalErr == nil {
+				d.evalErr = err
+			}
+			return fits
+		}
+	} else {
+		results = d.pool.EvaluateAll(seqs)
+	}
 	for i, r := range results {
+		if r.Err != nil {
+			// The cluster abandoned this task (e.g. after MaxAttempts);
+			// score it as a dead end rather than sinking the generation.
+			d.details[i] = Detail{}
+			continue
+		}
 		det := Detail{
 			Target:       r.TargetScore,
 			MaxNonTarget: MaxScore(r.NonTargetScores),
@@ -253,6 +283,11 @@ func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 			return result(), err
 		}
 		st := d.engine.Step()
+		if d.evalErr != nil {
+			// The evaluation backend failed (e.g. the distributed master
+			// closed); return what the completed generations produced.
+			return result(), d.evalErr
+		}
 		// Locate the generation's fittest individual's decomposition.
 		bestIdx := 0
 		for i, det := range d.details {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ga"
 	"repro/internal/pipe"
+	"repro/internal/seq"
 	"repro/internal/yeastgen"
 )
 
@@ -327,5 +329,113 @@ func TestDesignImproves(t *testing.T) {
 	if res.BestDetail.Target <= res.BestDetail.MaxNonTarget {
 		t.Errorf("design is not specific: target %.3f <= max non-target %.3f",
 			res.BestDetail.Target, res.BestDetail.MaxNonTarget)
+	}
+}
+
+// TestEvaluateHookMatchesInProcessPool: plugging an external Evaluate
+// backend in must not change the design outcome — the GA sees the same
+// scores either way.
+func TestEvaluateHookMatchesInProcessPool(t *testing.T) {
+	_, eng := setup(t)
+	ref, err := Design(eng, 0, []int{1, 2}, designOpts(30, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hooked := designOpts(30, 8, 5)
+	pool, err := cluster.New(eng, 0, []int{1, 2}, hooked.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	hooked.Evaluate = func(seqs []seq.Sequence) ([]cluster.Result, error) {
+		calls++
+		return pool.EvaluateAll(seqs), nil
+	}
+	got, err := Design(eng, 0, []int{1, 2}, hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Evaluate backend never called")
+	}
+	if got.Best.Residues() != ref.Best.Residues() || got.BestDetail != ref.BestDetail {
+		t.Error("Evaluate backend changed the design outcome")
+	}
+}
+
+// TestEvaluateHookErrorAbortsRun: a backend failure (master closed,
+// network gone) must surface as the run's error instead of silently
+// evolving against all-zero fitness.
+func TestEvaluateHookErrorAbortsRun(t *testing.T) {
+	_, eng := setup(t)
+	opts := designOpts(20, 50, 3)
+	boom := errors.New("backend down")
+	gen := 0
+	opts.Evaluate = func(seqs []seq.Sequence) ([]cluster.Result, error) {
+		gen++
+		if gen > 2 {
+			return nil, boom
+		}
+		results := make([]cluster.Result, len(seqs))
+		for i := range results {
+			results[i] = cluster.Result{Index: i, TargetScore: 0.5}
+		}
+		return results, nil
+	}
+	if _, err := Design(eng, 0, []int{1}, opts); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the backend error", err)
+	}
+}
+
+// TestEvaluateHookLengthMismatch: a backend returning the wrong result
+// count is a protocol violation, not a scoring outcome.
+func TestEvaluateHookLengthMismatch(t *testing.T) {
+	_, eng := setup(t)
+	opts := designOpts(20, 50, 3)
+	opts.Evaluate = func(seqs []seq.Sequence) ([]cluster.Result, error) {
+		return make([]cluster.Result, 1), nil
+	}
+	if _, err := Design(eng, 0, []int{1}, opts); err == nil {
+		t.Fatal("short result slice accepted")
+	}
+}
+
+// TestEvaluateHookAbandonedTaskScoresZero: a per-task Err (a candidate
+// the cluster abandoned after MaxAttempts) zeroes that candidate's
+// fitness for the generation; everyone else scores normally.
+func TestEvaluateHookAbandonedTaskScoresZero(t *testing.T) {
+	_, eng := setup(t)
+	opts := designOpts(10, 2, 7)
+	pool, err := cluster.New(eng, 0, []int{1}, opts.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Evaluate = func(seqs []seq.Sequence) ([]cluster.Result, error) {
+		results := pool.EvaluateAll(seqs)
+		results[0] = cluster.Result{Index: 0, Attempts: 3, Err: errors.New("abandoned")}
+		return results, nil
+	}
+	d, err := NewDesigner(Problem{Engine: eng, TargetID: 0, NonTargetIDs: []int{1}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	seqs := make([]seq.Sequence, 4)
+	for i := range seqs {
+		seqs[i] = seq.Random(rng, "cand", 100, seq.YeastComposition())
+	}
+	fits := d.evaluateAll(seqs)
+	if d.evalErr != nil {
+		t.Fatal(d.evalErr)
+	}
+	if fits[0] != 0 || d.details[0] != (Detail{}) {
+		t.Errorf("abandoned candidate scored %f (%+v), want zero", fits[0], d.details[0])
+	}
+	for i := 1; i < len(seqs); i++ {
+		want := Fitness(eng.Score(seqs[i], 0, 1), []float64{eng.Score(seqs[i], 1, 1)})
+		if fits[i] != want {
+			t.Errorf("candidate %d: fitness %f, want %f", i, fits[i], want)
+		}
 	}
 }

@@ -1,0 +1,269 @@
+// Package faultnet wraps net.Conn and net.Listener with controllable
+// fault injection for testing the distributed evaluation layer
+// (internal/netcluster) against the failure modes a production cluster
+// actually sees: added latency, stalled links, and silent partitions
+// (the NAT/firewall behavior where writes keep "succeeding" locally but
+// nothing reaches the peer and nothing comes back).
+//
+// Faults are described by a Profile shared between any number of
+// wrapped connections; flipping the profile at test time changes the
+// behavior of live connections immediately. Gate waits honor the
+// connection's read/write deadlines (returning os.ErrDeadlineExceeded,
+// which implements net.Error's Timeout), so deadline-based failure
+// detection — the thing under test — keeps working while the fault is
+// active.
+package faultnet
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Profile is a shared, mutable description of injected faults. The zero
+// profile (via NewProfile) injects nothing. All methods are safe for
+// concurrent use, including while wrapped connections are mid-I/O.
+type Profile struct {
+	mu          sync.Mutex
+	latency     time.Duration
+	stalled     bool
+	partitioned bool
+	change      chan struct{} // closed and replaced on every state change
+}
+
+// NewProfile returns a profile injecting no faults.
+func NewProfile() *Profile {
+	return &Profile{change: make(chan struct{})}
+}
+
+func (p *Profile) set(f func()) {
+	p.mu.Lock()
+	f()
+	close(p.change)
+	p.change = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay before every read and write.
+func (p *Profile) SetLatency(d time.Duration) { p.set(func() { p.latency = d }) }
+
+// Stall blocks every read and write on connections using this profile
+// until Unstall. Blocked operations still observe deadlines and Close.
+func (p *Profile) Stall() { p.set(func() { p.stalled = true }) }
+
+// Unstall releases a Stall.
+func (p *Profile) Unstall() { p.set(func() { p.stalled = false }) }
+
+// Partition emulates a silently dead link: writes appear to succeed but
+// are discarded before reaching the peer, and reads block (until Heal,
+// a deadline, or Close). This is the hung-worker scenario — the process
+// is alive and "sending" heartbeats, but the network eats everything.
+func (p *Profile) Partition() { p.set(func() { p.partitioned = true }) }
+
+// Heal releases a Partition.
+func (p *Profile) Heal() { p.set(func() { p.partitioned = false }) }
+
+func (p *Profile) snapshot() (latency time.Duration, stalled, partitioned bool, change chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latency, p.stalled, p.partitioned, p.change
+}
+
+// Conn is a net.Conn filtered through a Profile. Create with Wrap.
+type Conn struct {
+	inner net.Conn
+	p     *Profile
+
+	mu sync.Mutex
+	rd time.Time
+	wd time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Wrap filters c through the profile. The wrapper owns c: closing the
+// wrapper closes c and releases any operation blocked on a fault gate.
+func Wrap(c net.Conn, p *Profile) *Conn {
+	return &Conn{inner: c, p: p, closed: make(chan struct{})}
+}
+
+func (c *Conn) deadline(read bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if read {
+		return c.rd
+	}
+	return c.wd
+}
+
+// deadlineTimer returns a channel firing at the operation's deadline,
+// or nil if none is set; expired deadlines report immediately.
+func (c *Conn) deadlineTimer(read bool) (<-chan time.Time, *time.Timer, error) {
+	dl := c.deadline(read)
+	if dl.IsZero() {
+		return nil, nil, nil
+	}
+	d := time.Until(dl)
+	if d <= 0 {
+		return nil, nil, os.ErrDeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	return t.C, t, nil
+}
+
+// gate blocks while the profile stalls (or, for reads, partitions) the
+// connection, then applies latency. It respects deadlines and Close.
+func (c *Conn) gate(read bool) error {
+	for {
+		latency, stalled, partitioned, change := c.p.snapshot()
+		if !(stalled || (read && partitioned)) {
+			return c.sleep(latency, read)
+		}
+		timerC, timer, err := c.deadlineTimer(read)
+		if err != nil {
+			return err
+		}
+		select {
+		case <-change:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timerC:
+			return os.ErrDeadlineExceeded
+		case <-c.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return net.ErrClosed
+		}
+	}
+}
+
+func (c *Conn) sleep(d time.Duration, read bool) error {
+	if d <= 0 {
+		return nil
+	}
+	timerC, timer, err := c.deadlineTimer(read)
+	if err != nil {
+		return err
+	}
+	lat := time.NewTimer(d)
+	defer lat.Stop()
+	select {
+	case <-lat.C:
+		if timer != nil {
+			timer.Stop()
+		}
+		return nil
+	case <-timerC:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		if timer != nil {
+			timer.Stop()
+		}
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.gate(true); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(b)
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.gate(false); err != nil {
+		return 0, err
+	}
+	if _, _, partitioned, _ := c.p.snapshot(); partitioned {
+		return len(b), nil // swallowed: the silent drop
+	}
+	return c.inner.Write(b)
+}
+
+// Close closes the underlying connection and releases any operation
+// blocked on a fault gate. Safe to call multiple times.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd, c.wd = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wd = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// Listener wraps every accepted connection with a shared profile — the
+// fault-injected master side. Create with WrapListener.
+type Listener struct {
+	inner net.Listener
+	p     *Profile
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// WrapListener filters every connection accepted from ln through p.
+func WrapListener(ln net.Listener, p *Profile) *Listener {
+	return &Listener{inner: ln, p: p}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	wc := Wrap(c, l.p)
+	l.mu.Lock()
+	l.conns = append(l.conns, wc)
+	l.mu.Unlock()
+	return wc, nil
+}
+
+// Conns returns every connection accepted so far, in accept order.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+func (l *Listener) Close() error   { return l.inner.Close() }
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Dialer returns a dial function (the shape netcluster.WorkerOptions.Dial
+// expects) whose connections are filtered through p.
+func Dialer(p *Profile) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(c, p), nil
+	}
+}

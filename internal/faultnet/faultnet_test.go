@@ -1,0 +1,204 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns a TCP loopback connection with the client side wrapped
+// in the profile, plus the raw server side.
+func pair(t *testing.T, p *Profile) (client *Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		accepted <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = Wrap(raw, p)
+	server = <-accepted
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestPassthrough(t *testing.T) {
+	c, s := pair(t, NewProfile())
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	s.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p := NewProfile()
+	p.SetLatency(60 * time.Millisecond)
+	c, s := pair(t, p)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("write returned after %s, want >= latency", elapsed)
+	}
+	buf := make([]byte, 1)
+	s.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	p := NewProfile()
+	p.Stall()
+	c, _ := pair(t, p)
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := c.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read with deadline: err = %v, want deadline exceeded", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err %v is not a net timeout", err)
+	}
+}
+
+func TestUnstallReleasesWrite(t *testing.T) {
+	p := NewProfile()
+	p.Stall()
+	c, s := pair(t, p)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("late"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed during stall: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Unstall()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write still blocked after Unstall")
+	}
+	buf := make([]byte, 4)
+	s.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBlackholesWrites(t *testing.T) {
+	p := NewProfile()
+	c, s := pair(t, p)
+	p.Partition()
+	// Writes "succeed" locally...
+	if n, err := c.Write([]byte("void")); err != nil || n != 4 {
+		t.Fatalf("partitioned write: n=%d err=%v", n, err)
+	}
+	// ...but nothing reaches the peer.
+	s.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := s.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("peer read: err = %v, want deadline exceeded (nothing delivered)", err)
+	}
+	// Reads block until healed.
+	c.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	if _, err := c.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned read: err = %v, want deadline exceeded", err)
+	}
+	p.Heal()
+	if _, err := s.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "back" {
+		t.Fatalf("got %q after heal", buf)
+	}
+}
+
+func TestCloseReleasesBlockedOps(t *testing.T) {
+	p := NewProfile()
+	p.Stall()
+	c, _ := pair(t, p)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := c.Read(buf)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after Close")
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	p := NewProfile()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, p)
+	defer ln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.Write([]byte("hi"))
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if len(ln.Conns()) != 1 {
+		t.Fatalf("listener tracks %d conns, want 1", len(ln.Conns()))
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Fatalf("got %q", buf)
+	}
+}

@@ -1,0 +1,528 @@
+package netcluster
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/seq"
+)
+
+// Errors reported by the master.
+var (
+	// ErrMasterClosed is returned by evaluation calls racing Close.
+	ErrMasterClosed = errors.New("netcluster: master closed")
+	// ErrBusy is returned when EvaluateAllContext is called while another
+	// round is still in flight; rounds share the worker fleet and must be
+	// issued one at a time.
+	ErrBusy = errors.New("netcluster: an evaluation round is already in flight")
+	// ErrTaskAbandoned marks a per-task Result.Err after MaxAttempts
+	// dispatches all failed (worker crash or lease expiry each time).
+	ErrTaskAbandoned = errors.New("netcluster: task abandoned after max attempts")
+)
+
+// Options tunes the master's fault-tolerance machinery. The zero value
+// gets production defaults; tests shrink the intervals.
+type Options struct {
+	// LeaseTimeout is how long a dispatched task may go without a
+	// heartbeat or result from its worker before the master revokes the
+	// lease and re-queues the task. Heartbeats from the owning worker
+	// extend the lease, so a slow-but-alive worker keeps its task.
+	// Default 30s.
+	LeaseTimeout time.Duration
+	// MaxAttempts is how many dispatches a task gets before it is
+	// quarantined: reported as Result.Err (wrapping ErrTaskAbandoned)
+	// instead of burning the fleet forever. Default 3.
+	MaxAttempts int
+	// HeartbeatInterval is the liveness cadence, broadcast to workers in
+	// the Setup. Default LeaseTimeout/6 clamped to [10ms, 5s].
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals the reader tolerates
+	// before declaring the peer dead. Default 3.
+	HeartbeatMisses int
+	// WriteTimeout bounds every protocol write. Default 10s.
+	WriteTimeout time.Duration
+	// SetupTimeout bounds the initial database broadcast and the worker's
+	// engine rebuild that follows it (both scale with proteome size).
+	// Default 2m.
+	SetupTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = o.LeaseTimeout / 6
+		if o.HeartbeatInterval < 10*time.Millisecond {
+			o.HeartbeatInterval = 10 * time.Millisecond
+		}
+		if o.HeartbeatInterval > 5*time.Second {
+			o.HeartbeatInterval = 5 * time.Second
+		}
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// heartbeatTimeout is how long a reader waits for any message before
+// declaring the peer dead.
+func (o Options) heartbeatTimeout() time.Duration {
+	return o.HeartbeatInterval * time.Duration(o.HeartbeatMisses)
+}
+
+// task is one candidate evaluation, tracked across re-issues.
+type task struct {
+	index    int
+	attempts int // dispatches so far
+}
+
+// round is the state of one EvaluateAllContext call. A task object
+// lives in exactly one place at a time — the queue, a worker's
+// inflight slot, or done — which is what makes re-issue race-free.
+type round struct {
+	seqs      []seq.Sequence
+	queue     []*task
+	done      []bool
+	remaining int
+	results   []cluster.Result
+	cancelled bool
+	finished  chan struct{} // closed when remaining hits zero
+}
+
+// workerConn is the master-side record of one connected worker. The
+// inflight/round/lease fields are guarded by Master.mu.
+type workerConn struct {
+	conn     net.Conn
+	inflight *task
+	round    *round
+	lease    time.Time
+}
+
+// Master owns the listener and distributes candidate evaluations to
+// connected workers under task leases. Create with NewMaster or
+// NewMasterOptions, then call EvaluateAll/EvaluateAllContext any number
+// of times (one at a time) and Close when done.
+type Master struct {
+	setup Setup
+	ln    net.Listener
+	opts  Options
+
+	stats statsCounters
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*workerConn]struct{}
+	cur    *round
+	wake   chan struct{} // closed and replaced to broadcast state changes
+
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMaster starts serving on ln (which the caller created, e.g. via
+// net.Listen("tcp", "127.0.0.1:0")) with default Options.
+func NewMaster(setup Setup, ln net.Listener) *Master {
+	return NewMasterOptions(setup, ln, Options{})
+}
+
+// NewMasterOptions is NewMaster with explicit fault-tolerance tuning.
+// The accept loop and the lease sweeper run until Close.
+func NewMasterOptions(setup Setup, ln net.Listener, opts Options) *Master {
+	opts = opts.withDefaults()
+	setup.HeartbeatIntervalMS = opts.HeartbeatInterval.Milliseconds()
+	setup.HeartbeatMisses = opts.HeartbeatMisses
+	m := &Master{
+		setup:    setup,
+		ln:       ln,
+		opts:     opts,
+		conns:    make(map[*workerConn]struct{}),
+		wake:     make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
+	m.wg.Add(2)
+	go m.acceptLoop()
+	go m.leaseLoop()
+	return m
+}
+
+// Addr returns the master's listen address for workers to dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Workers returns the number of currently connected workers.
+func (m *Master) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.conns)
+}
+
+// wakeLocked broadcasts a dispatch-state change to every handler
+// blocked waiting for work. Caller holds m.mu.
+func (m *Master) wakeLocked() {
+	close(m.wake)
+	m.wake = make(chan struct{})
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.handle(conn)
+	}
+}
+
+// leaseLoop periodically revokes expired leases so tasks held by hung
+// or silently dead workers are re-queued without waiting for the
+// handler's read deadline to fire.
+func (m *Master) leaseLoop() {
+	defer m.wg.Done()
+	interval := m.opts.LeaseTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.closedCh:
+			return
+		case <-tick.C:
+			m.expireLeases(time.Now())
+		}
+	}
+}
+
+func (m *Master) expireLeases(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for w := range m.conns {
+		if w.inflight != nil && now.After(w.lease) {
+			t, r := w.inflight, w.round
+			w.inflight, w.round = nil, nil
+			m.stats.leasesExpired.Add(1)
+			m.requeueLocked(r, t)
+		}
+	}
+}
+
+// requeueLocked returns a task whose attempt failed (dead worker or
+// expired lease) to the dispatch queue, or quarantines it once its
+// attempt budget is spent. Caller holds m.mu.
+func (m *Master) requeueLocked(r *round, t *task) {
+	if r == nil || r.cancelled || r.done[t.index] {
+		return
+	}
+	if t.attempts >= m.opts.MaxAttempts {
+		r.done[t.index] = true
+		r.remaining--
+		r.results[t.index] = cluster.Result{
+			Index:    t.index,
+			Attempts: t.attempts,
+			Err:      fmt.Errorf("%w (task %d, %d attempts)", ErrTaskAbandoned, t.index, t.attempts),
+		}
+		m.stats.tasksQuarantined.Add(1)
+		if r.remaining == 0 {
+			close(r.finished)
+		}
+		return
+	}
+	r.queue = append(r.queue, t)
+	m.stats.tasksReissued.Add(1)
+	m.wakeLocked()
+}
+
+// extendLease refreshes the lease of w's inflight task — called on
+// every heartbeat from a computing worker.
+func (m *Master) extendLease(w *workerConn) {
+	m.stats.heartbeatsReceived.Add(1)
+	m.mu.Lock()
+	if w.inflight != nil {
+		w.lease = time.Now().Add(m.opts.LeaseTimeout)
+	}
+	m.mu.Unlock()
+}
+
+// deliver records the result a worker returned for its inflight task.
+// Late results — the round was cancelled, the lease already expired and
+// the re-issued task completed elsewhere — are counted and dropped.
+func (m *Master) deliver(w *workerConn, req requestMsg) {
+	m.mu.Lock()
+	t, r := w.inflight, w.round
+	w.inflight, w.round = nil, nil
+	if t == nil || r == nil || r.cancelled || t.index != req.Index || r.done[t.index] {
+		m.mu.Unlock()
+		m.stats.resultsDropped.Add(1)
+		return
+	}
+	r.done[t.index] = true
+	r.remaining--
+	r.results[t.index] = cluster.Result{
+		Index:           t.index,
+		TargetScore:     req.Target,
+		NonTargetScores: req.NonTarget,
+		Attempts:        t.attempts,
+	}
+	if r.remaining == 0 {
+		close(r.finished)
+	}
+	m.mu.Unlock()
+	m.stats.tasksCompleted.Add(1)
+}
+
+// release unregisters a worker and re-queues its inflight task, if any.
+func (m *Master) release(w *workerConn) {
+	m.mu.Lock()
+	delete(m.conns, w)
+	if w.inflight != nil {
+		t, r := w.inflight, w.round
+		w.inflight, w.round = nil, nil
+		m.requeueLocked(r, t)
+	}
+	m.mu.Unlock()
+	m.stats.workerDisconnects.Add(1)
+}
+
+// Dispatch outcomes of nextTask.
+const (
+	actTask = iota
+	actHeartbeat
+	actEnd
+)
+
+// nextTask blocks until there is a task to lease to w, returning the
+// wire message to send. With no work available it returns a heartbeat
+// every HeartbeatInterval so the idle worker can tell the master is
+// alive; after Close it returns END.
+func (m *Master) nextTask(w *workerConn) (taskMsg, int) {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return taskMsg{End: true}, actEnd
+		}
+		if r := m.cur; r != nil && len(r.queue) > 0 {
+			t := r.queue[0]
+			r.queue = r.queue[1:]
+			t.attempts++
+			w.inflight, w.round = t, r
+			w.lease = time.Now().Add(m.opts.LeaseTimeout)
+			s := r.seqs[t.index]
+			m.mu.Unlock()
+			m.stats.tasksDispatched.Add(1)
+			return taskMsg{Index: t.index, Attempt: t.attempts, Name: s.Name(), Residues: s.Residues()}, actTask
+		}
+		wake := m.wake
+		m.mu.Unlock()
+		select {
+		case <-wake:
+		case <-time.After(m.opts.HeartbeatInterval):
+			return taskMsg{Heartbeat: true}, actHeartbeat
+		}
+	}
+}
+
+func (m *Master) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// handle speaks the leased work-request protocol with one worker. Any
+// protocol or liveness failure drops the connection; release re-queues
+// whatever the worker was holding.
+func (m *Master) handle(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	w := &workerConn{conn: conn}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.conns[w] = struct{}{}
+	m.mu.Unlock()
+	m.stats.workerConnects.Add(1)
+	defer m.release(w)
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(m.opts.SetupTimeout))
+	if err := enc.Encode(m.setup); err != nil {
+		log.Printf("netcluster: master: broadcast to %s failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	// The first request arrives only after the worker rebuilt its engine
+	// from the broadcast, so it gets the generous setup deadline.
+	readTimeout := m.opts.SetupTimeout
+	for {
+		to := readTimeout
+		if m.isClosed() {
+			to = m.opts.heartbeatTimeout() // don't outlive Close's grace window
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(to))
+		var req requestMsg
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		readTimeout = m.opts.heartbeatTimeout()
+		if req.Heartbeat {
+			if m.isClosed() {
+				_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+				_ = enc.Encode(taskMsg{End: true})
+				return
+			}
+			m.extendLease(w)
+			continue
+		}
+		if req.HasResult {
+			m.deliver(w, req)
+		}
+		for {
+			msg, act := m.nextTask(w)
+			_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+			if err := enc.Encode(msg); err != nil {
+				return // release re-queues a just-leased task
+			}
+			if act == actEnd {
+				return
+			}
+			if act == actTask {
+				break
+			}
+			// Heartbeat sent; keep waiting for work.
+		}
+	}
+}
+
+// EvaluateAll distributes the candidates to connected workers and
+// blocks until every result is in; see EvaluateAllContext.
+func (m *Master) EvaluateAll(seqs []seq.Sequence) ([]cluster.Result, error) {
+	return m.EvaluateAllContext(context.Background(), seqs)
+}
+
+// EvaluateAllContext distributes the candidates to connected workers
+// and blocks until every result is in, the context is cancelled, or the
+// master is closed. At least one worker must connect eventually or the
+// call blocks until cancellation.
+//
+// Results are indexed like seqs. A task whose every dispatch failed is
+// reported in its Result.Err (wrapping ErrTaskAbandoned) rather than as
+// a call error, so one poison candidate cannot sink a generation.
+//
+// Rounds are serialized: a second call while one is in flight fails
+// fast with ErrBusy. After cancellation, stragglers' results for the
+// dead round are dropped, never leaked into the next round.
+func (m *Master) EvaluateAllContext(ctx context.Context, seqs []seq.Sequence) ([]cluster.Result, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	r := &round{
+		seqs:      seqs,
+		queue:     make([]*task, len(seqs)),
+		done:      make([]bool, len(seqs)),
+		remaining: len(seqs),
+		results:   make([]cluster.Result, len(seqs)),
+		finished:  make(chan struct{}),
+	}
+	for i := range seqs {
+		r.queue[i] = &task{index: i}
+		r.results[i].Index = i
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrMasterClosed
+	}
+	if m.cur != nil {
+		m.mu.Unlock()
+		return nil, ErrBusy
+	}
+	m.cur = r
+	m.wakeLocked()
+	m.mu.Unlock()
+	m.stats.roundsStarted.Add(1)
+
+	finish := func(cancelled bool) {
+		m.mu.Lock()
+		if cancelled {
+			r.cancelled = true
+		}
+		if m.cur == r {
+			m.cur = nil
+		}
+		m.wakeLocked()
+		m.mu.Unlock()
+	}
+	select {
+	case <-r.finished:
+		finish(false)
+		m.stats.roundsCompleted.Add(1)
+		return r.results, nil
+	case <-ctx.Done():
+		finish(true)
+		m.stats.roundsCancelled.Add(1)
+		return nil, ctx.Err()
+	case <-m.closedCh:
+		finish(true)
+		return nil, ErrMasterClosed
+	}
+}
+
+// Close sends END to all workers, aborts any in-flight round with
+// ErrMasterClosed, and shuts the listener down. Workers that die while
+// Close drains are released harmlessly (their tasks have nowhere to
+// go and are dropped with the round). Close is idempotent.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.closedCh)
+	m.wakeLocked()
+	// Handlers parked in a read (worker mid-compute, or a broken peer
+	// that never sent its first request) get one liveness window to
+	// finish their exchange before the deadline cuts them loose — Close
+	// must not wait out a SetupTimeout on a wedged connection.
+	grace := time.Now().Add(m.opts.heartbeatTimeout())
+	for w := range m.conns {
+		_ = w.conn.SetReadDeadline(grace)
+	}
+	m.mu.Unlock()
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}
+
+// Stats returns a point-in-time snapshot of the master's
+// fault-tolerance counters.
+func (m *Master) Stats() Stats {
+	s := m.stats.snapshot()
+	s.WorkersConnected = m.Workers()
+	return s
+}

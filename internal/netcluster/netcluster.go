@@ -6,20 +6,33 @@
 // read-only PIPE engine, and then enters Algorithm 2's work-request loop.
 //
 // MPI send/receive becomes length-delimited gob messages; the on-demand,
-// lock-step protocol is preserved exactly: a worker's request carries the
-// result of its previous task, and the master answers with the next
-// candidate or the END signal. A worker that dies mid-task has its task
-// re-queued, which MPI InSiPS could not do — noted as a deviation.
+// lock-step protocol is preserved: a worker's request carries the result
+// of its previous task, and the master answers with the next candidate
+// or the END signal.
+//
+// Unlike the paper's Blue Gene/Q run — dedicated hardware where a hung
+// rank killed the whole job — this package is built for commodity
+// clusters where workers hang, crash, restart and join late:
+//
+//   - every dispatched task carries a lease; a task whose worker goes
+//     silent past the lease deadline is re-queued to a healthy worker,
+//     and a task that burns Options.MaxAttempts dispatches is
+//     quarantined and reported as a per-task error instead of hanging
+//     or crashing the run;
+//   - both sides exchange lightweight heartbeats under read/write
+//     deadlines, so a silently dead TCP peer (NAT timeout, pulled
+//     cable) is detected in bounded time;
+//   - RunWorkerLoop reconnects with exponential backoff plus jitter, so
+//     workers can start before the master and survive master restarts;
+//   - Master.Stats exposes the fault-tolerance counters (re-issues,
+//     expired leases, disconnects, quarantines) for /metrics scraping.
 package netcluster
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
-	"log"
-	"net"
-	"sync"
 
-	"repro/internal/cluster"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
 	"repro/internal/seq"
@@ -58,6 +71,13 @@ type Setup struct {
 	TargetID         int
 	NonTargetIDs     []int
 	ThreadsPerWorker int
+
+	// HeartbeatIntervalMS and HeartbeatMisses carry the master's liveness
+	// cadence to workers (stamped by NewMasterOptions), so both ends of a
+	// connection agree on what "silent too long" means without separate
+	// worker configuration. Zero means the worker uses its own defaults.
+	HeartbeatIntervalMS int64
+	HeartbeatMisses     int
 }
 
 // NewSetup captures an engine's proteome, graph and configuration plus
@@ -145,218 +165,46 @@ func (s Setup) BuildEngine() (*pipe.Engine, error) {
 	return pipe.New(proteins, builder.Build(), cfg, 0)
 }
 
+// fingerprint hashes the engine-defining fields of the setup so a
+// reconnecting worker can reuse its engine when the master (or a
+// restarted master) broadcasts the same database again.
+func (s Setup) fingerprint() [sha256.Size]byte {
+	// Liveness cadence does not change the engine.
+	s.HeartbeatIntervalMS = 0
+	s.HeartbeatMisses = 0
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+	_ = enc.Encode(s)
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
 // Wire protocol -------------------------------------------------------
+//
+// After the Setup broadcast, the worker sends requestMsg and the master
+// answers with taskMsg, lock-step. Heartbeat messages are the only
+// exception to the lock step: a computing worker streams heartbeat
+// requests to keep its lease alive, and a master with no work streams
+// heartbeat tasks so an idle worker can tell "no work yet" from "dead
+// master". Receivers skip heartbeats and keep waiting for the real
+// message; every received message refreshes the peer's liveness
+// deadline.
 
 type taskMsg struct {
-	End      bool
-	Index    int
-	Name     string
-	Residues string
+	Heartbeat bool // liveness only; no task attached
+	End       bool
+	Index     int
+	Attempt   int
+	Name      string
+	Residues  string
 }
 
 type requestMsg struct {
+	Heartbeat bool // liveness only; no result, no work request
 	HasResult bool
 	Index     int
+	Attempt   int
 	Target    float64
 	NonTarget []float64
-}
-
-type pendingTask struct {
-	index int
-	seq   seq.Sequence
-}
-
-// Master owns the listener and distributes candidate evaluations to
-// connected workers. Create with NewMaster, then call EvaluateAll any
-// number of times and Close when done.
-type Master struct {
-	setup Setup
-	ln    net.Listener
-
-	tasks   chan pendingTask
-	results chan requestMsg
-
-	mu      sync.Mutex
-	closed  bool
-	workers int
-	wg      sync.WaitGroup
-}
-
-// NewMaster starts serving on ln (which the caller created, e.g. via
-// net.Listen("tcp", "127.0.0.1:0")). The accept loop runs until Close.
-func NewMaster(setup Setup, ln net.Listener) *Master {
-	m := &Master{
-		setup:   setup,
-		ln:      ln,
-		tasks:   make(chan pendingTask),
-		results: make(chan requestMsg, 64),
-	}
-	m.wg.Add(1)
-	go m.acceptLoop()
-	return m
-}
-
-// Addr returns the master's listen address for workers to dial.
-func (m *Master) Addr() string { return m.ln.Addr().String() }
-
-// Workers returns the number of currently connected workers.
-func (m *Master) Workers() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.workers
-}
-
-func (m *Master) acceptLoop() {
-	defer m.wg.Done()
-	for {
-		conn, err := m.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
-			conn.Close()
-			return
-		}
-		m.workers++
-		m.mu.Unlock()
-		m.wg.Add(1)
-		go m.handle(conn)
-	}
-}
-
-// handle speaks the lock-step protocol with one worker. If the
-// connection dies while a task is outstanding, the task is re-queued.
-func (m *Master) handle(conn net.Conn) {
-	defer m.wg.Done()
-	defer conn.Close()
-	defer func() {
-		m.mu.Lock()
-		m.workers--
-		m.mu.Unlock()
-	}()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(m.setup); err != nil {
-		log.Printf("netcluster: master: broadcast failed: %v", err)
-		return
-	}
-	var inflight *pendingTask
-	requeue := func() {
-		if inflight != nil {
-			m.tasks <- *inflight
-			inflight = nil
-		}
-	}
-	for {
-		var req requestMsg
-		if err := dec.Decode(&req); err != nil {
-			requeue()
-			return
-		}
-		if req.HasResult {
-			inflight = nil
-			m.results <- req
-		}
-		t, ok := <-m.tasks
-		if !ok {
-			_ = enc.Encode(taskMsg{End: true})
-			return
-		}
-		if err := enc.Encode(taskMsg{Index: t.index, Name: t.seq.Name(), Residues: t.seq.Residues()}); err != nil {
-			m.tasks <- t
-			return
-		}
-		inflight = &t
-	}
-}
-
-// EvaluateAll distributes the candidates to connected workers and blocks
-// until every result is in. At least one worker must connect eventually
-// or the call blocks. Not safe for concurrent calls.
-func (m *Master) EvaluateAll(seqs []seq.Sequence) []cluster.Result {
-	go func() {
-		for i, s := range seqs {
-			m.tasks <- pendingTask{index: i, seq: s}
-		}
-	}()
-	out := make([]cluster.Result, len(seqs))
-	for done := 0; done < len(seqs); done++ {
-		r := <-m.results
-		out[r.Index] = cluster.Result{
-			Index:           r.Index,
-			TargetScore:     r.Target,
-			NonTargetScores: r.NonTarget,
-		}
-	}
-	return out
-}
-
-// Close sends END to all workers (after in-flight work drains) and shuts
-// the listener down.
-func (m *Master) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return nil
-	}
-	m.closed = true
-	m.mu.Unlock()
-	close(m.tasks)
-	err := m.ln.Close()
-	m.wg.Wait()
-	return err
-}
-
-// RunWorker connects to the master at addr, rebuilds the engine from the
-// broadcast Setup, and processes tasks until the END signal. It returns
-// the number of tasks processed.
-func RunWorker(addr string) (int, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return 0, err
-	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	var setup Setup
-	if err := dec.Decode(&setup); err != nil {
-		return 0, fmt.Errorf("netcluster: worker: receiving setup: %w", err)
-	}
-	engine, err := setup.BuildEngine()
-	if err != nil {
-		return 0, fmt.Errorf("netcluster: worker: rebuilding engine: %w", err)
-	}
-	threads := setup.ThreadsPerWorker
-	if threads <= 0 {
-		threads = 1
-	}
-	work := append([]int{setup.TargetID}, setup.NonTargetIDs...)
-	processed := 0
-	req := requestMsg{} // first request carries no result
-	for {
-		if err := enc.Encode(req); err != nil {
-			return processed, fmt.Errorf("netcluster: worker: sending request: %w", err)
-		}
-		var t taskMsg
-		if err := dec.Decode(&t); err != nil {
-			return processed, fmt.Errorf("netcluster: worker: receiving task: %w", err)
-		}
-		if t.End {
-			return processed, nil
-		}
-		cand, err := seq.New(t.Name, t.Residues)
-		if err != nil {
-			return processed, fmt.Errorf("netcluster: worker: bad candidate: %w", err)
-		}
-		scores := engine.ScoreMany(cand, work, threads)
-		req = requestMsg{
-			HasResult: true,
-			Index:     t.Index,
-			Target:    scores[0],
-			NonTarget: scores[1:],
-		}
-		processed++
-	}
 }

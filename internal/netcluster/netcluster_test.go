@@ -56,6 +56,25 @@ func TestSetupRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSetupFingerprint(t *testing.T) {
+	_, eng := setupEngine(t)
+	a := NewSetup(eng, 0, []int{1, 2}, 2)
+	b := NewSetup(eng, 0, []int{1, 2}, 2)
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("identical setups fingerprint differently")
+	}
+	// Liveness cadence is not part of the engine identity...
+	b.HeartbeatIntervalMS = 1234
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("heartbeat cadence changed the engine fingerprint")
+	}
+	// ...but the design problem is.
+	c := NewSetup(eng, 1, []int{0, 2}, 2)
+	if a.fingerprint() == c.fingerprint() {
+		t.Error("different problems share a fingerprint")
+	}
+}
+
 func TestSetupBadNames(t *testing.T) {
 	s := Setup{MatrixName: "NOPE", ReducedName: "murphy10"}
 	if _, err := s.BuildEngine(); err == nil {
@@ -69,18 +88,43 @@ func TestSetupBadNames(t *testing.T) {
 
 func startMaster(t *testing.T, nonTargets []int, threads int) *Master {
 	t.Helper()
+	return startMasterOpts(t, nonTargets, threads, Options{})
+}
+
+func startMasterOpts(t *testing.T, nonTargets []int, threads int, opts Options) *Master {
+	t.Helper()
 	_, eng := setupEngine(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMaster(NewSetup(eng, 0, nonTargets, threads), ln)
+	m := NewMasterOptions(NewSetup(eng, 0, nonTargets, threads), ln, opts)
 	t.Cleanup(func() { m.Close() })
 	return m
 }
 
+func waitWorkers(t *testing.T, m *Master, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Workers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers connected", m.Workers(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func randomSeqs(seed int64, n, length int) []seq.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	seqs := make([]seq.Sequence, n)
+	for i := range seqs {
+		seqs[i] = seq.Random(rng, "cand", length, seq.YeastComposition())
+	}
+	return seqs
+}
+
 func TestEndToEndSingleWorker(t *testing.T) {
-	pr, eng := setupEngine(t)
+	_, eng := setupEngine(t)
 	m := startMaster(t, []int{1, 2, 3}, 2)
 
 	workerDone := make(chan int, 1)
@@ -92,18 +136,23 @@ func TestEndToEndSingleWorker(t *testing.T) {
 		workerDone <- n
 	}()
 
-	rng := rand.New(rand.NewSource(2))
-	seqs := make([]seq.Sequence, 5)
-	for i := range seqs {
-		seqs[i] = seq.Random(rng, "cand", 120, seq.YeastComposition())
+	seqs := randomSeqs(2, 5, 120)
+	results, err := m.EvaluateAll(seqs)
+	if err != nil {
+		t.Fatal(err)
 	}
-	results := m.EvaluateAll(seqs)
 	if len(results) != 5 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for i, r := range results {
 		if r.Index != i || len(r.NonTargetScores) != 3 {
 			t.Errorf("result %d malformed: %+v", i, r)
+		}
+		if r.Err != nil {
+			t.Errorf("result %d unexpectedly failed: %v", i, r.Err)
+		}
+		if r.Attempts != 1 {
+			t.Errorf("result %d took %d attempts on a healthy fleet", i, r.Attempts)
 		}
 		want := eng.Score(seqs[i], 0, 1)
 		if r.TargetScore != want {
@@ -121,7 +170,6 @@ func TestEndToEndSingleWorker(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("worker did not exit after END")
 	}
-	_ = pr
 }
 
 func TestMultipleWorkersShareLoad(t *testing.T) {
@@ -138,19 +186,11 @@ func TestMultipleWorkersShareLoad(t *testing.T) {
 		}()
 	}
 	// Wait for all workers to be connected so work is actually shared.
-	deadline := time.Now().Add(10 * time.Second)
-	for m.Workers() < nWorkers {
-		if time.Now().After(deadline) {
-			t.Fatal("workers did not connect")
-		}
-		time.Sleep(10 * time.Millisecond)
+	waitWorkers(t, m, nWorkers)
+	results, err := m.EvaluateAll(randomSeqs(3, 12, 110))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
-	seqs := make([]seq.Sequence, 12)
-	for i := range seqs {
-		seqs[i] = seq.Random(rng, "cand", 110, seq.YeastComposition())
-	}
-	results := m.EvaluateAll(seqs)
 	if len(results) != 12 {
 		t.Fatal("missing results")
 	}
@@ -172,16 +212,55 @@ func TestMultipleWorkersShareLoad(t *testing.T) {
 func TestMultipleGenerations(t *testing.T) {
 	m := startMaster(t, []int{1, 2}, 1)
 	go RunWorker(m.Addr())
-	rng := rand.New(rand.NewSource(4))
 	for gen := 0; gen < 3; gen++ {
-		seqs := make([]seq.Sequence, 4)
-		for i := range seqs {
-			seqs[i] = seq.Random(rng, "cand", 100, seq.YeastComposition())
+		results, err := m.EvaluateAll(randomSeqs(int64(4+gen), 4, 100))
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
 		}
-		results := m.EvaluateAll(seqs)
 		if len(results) != 4 {
 			t.Fatalf("generation %d: %d results", gen, len(results))
 		}
+	}
+	st := m.Stats()
+	if st.RoundsCompleted != 3 {
+		t.Errorf("stats report %d completed rounds, want 3", st.RoundsCompleted)
+	}
+	if st.TasksCompleted != 12 {
+		t.Errorf("stats report %d completed tasks, want 12", st.TasksCompleted)
+	}
+}
+
+func TestIdleWorkerSurvivesBetweenRounds(t *testing.T) {
+	// An idle worker must not be declared dead while the master simply
+	// has no work: master-side heartbeats keep the link warm.
+	m := startMasterOpts(t, []int{1}, 1, Options{
+		LeaseTimeout:      400 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatMisses:   3,
+	})
+	go RunWorker(m.Addr())
+	waitWorkers(t, m, 1)
+	// Far longer than the 75ms liveness timeout.
+	time.Sleep(500 * time.Millisecond)
+	if m.Workers() != 1 {
+		t.Fatal("idle worker was dropped between rounds")
+	}
+	results, err := m.EvaluateAll(randomSeqs(7, 3, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("task %d failed after idle period: %v", r.Index, r.Err)
+		}
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := startMaster(t, nil, 1)
+	results, err := m.EvaluateAll(nil)
+	if err != nil || results != nil {
+		t.Fatalf("empty evaluation: results=%v err=%v", results, err)
 	}
 }
 
@@ -198,5 +277,13 @@ func TestMasterCloseIdempotent(t *testing.T) {
 	}
 	if err := m.Close(); err != nil {
 		t.Fatal("second close errored:", err)
+	}
+}
+
+func TestEvaluateAfterCloseFails(t *testing.T) {
+	m := startMaster(t, nil, 1)
+	m.Close()
+	if _, err := m.EvaluateAll(randomSeqs(5, 2, 100)); err != ErrMasterClosed {
+		t.Fatalf("EvaluateAll after Close: err = %v, want ErrMasterClosed", err)
 	}
 }

@@ -1,0 +1,97 @@
+package netcluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// statsCounters are the master's monotonic fault-tolerance counters.
+type statsCounters struct {
+	workerConnects     atomic.Int64
+	workerDisconnects  atomic.Int64
+	tasksDispatched    atomic.Int64
+	tasksCompleted     atomic.Int64
+	tasksReissued      atomic.Int64
+	leasesExpired      atomic.Int64
+	tasksQuarantined   atomic.Int64
+	resultsDropped     atomic.Int64
+	heartbeatsReceived atomic.Int64
+	roundsStarted      atomic.Int64
+	roundsCompleted    atomic.Int64
+	roundsCancelled    atomic.Int64
+}
+
+func (c *statsCounters) snapshot() Stats {
+	return Stats{
+		WorkerConnects:     c.workerConnects.Load(),
+		WorkerDisconnects:  c.workerDisconnects.Load(),
+		TasksDispatched:    c.tasksDispatched.Load(),
+		TasksCompleted:     c.tasksCompleted.Load(),
+		TasksReissued:      c.tasksReissued.Load(),
+		LeasesExpired:      c.leasesExpired.Load(),
+		TasksQuarantined:   c.tasksQuarantined.Load(),
+		ResultsDropped:     c.resultsDropped.Load(),
+		HeartbeatsReceived: c.heartbeatsReceived.Load(),
+		RoundsStarted:      c.roundsStarted.Load(),
+		RoundsCompleted:    c.roundsCompleted.Load(),
+		RoundsCancelled:    c.roundsCancelled.Load(),
+	}
+}
+
+// Stats is a point-in-time snapshot of a Master's fault-tolerance
+// counters; obtain one with Master.Stats.
+type Stats struct {
+	// WorkersConnected is the current fleet size (a gauge).
+	WorkersConnected int
+	// WorkerConnects / WorkerDisconnects count connections accepted and
+	// dropped over the master's lifetime; their difference plus
+	// WorkersConnected exposes reconnect churn.
+	WorkerConnects    int64
+	WorkerDisconnects int64
+	// TasksDispatched counts task leases handed out (re-issues included);
+	// TasksCompleted counts results accepted.
+	TasksDispatched int64
+	TasksCompleted  int64
+	// TasksReissued counts tasks re-queued after a failed attempt —
+	// worker death or lease expiry.
+	TasksReissued int64
+	// LeasesExpired counts leases revoked by the sweeper because the
+	// owning worker went silent past LeaseTimeout.
+	LeasesExpired int64
+	// TasksQuarantined counts tasks abandoned after MaxAttempts and
+	// reported as per-task errors.
+	TasksQuarantined int64
+	// ResultsDropped counts stale or duplicate results discarded
+	// (cancelled round, lease already re-issued and completed).
+	ResultsDropped int64
+	// HeartbeatsReceived counts worker liveness pings.
+	HeartbeatsReceived int64
+	// Round lifecycle counters for EvaluateAllContext calls.
+	RoundsStarted   int64
+	RoundsCompleted int64
+	RoundsCancelled int64
+}
+
+// WritePrometheus writes the counters in Prometheus text exposition
+// format, each metric named prefix_<name>. insipsd-style services
+// append this to their /metrics page (see server.Config.ExtraMetrics).
+func (s Stats) WritePrometheus(w io.Writer, prefix string) {
+	p := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n", prefix, name, help)
+		fmt.Fprintf(w, "%s_%s %d\n", prefix, name, v)
+	}
+	p("workers_connected", "Workers currently connected.", int64(s.WorkersConnected))
+	p("worker_connects_total", "Worker connections accepted.", s.WorkerConnects)
+	p("worker_disconnects_total", "Worker connections dropped.", s.WorkerDisconnects)
+	p("tasks_dispatched_total", "Task leases handed out, re-issues included.", s.TasksDispatched)
+	p("tasks_completed_total", "Task results accepted.", s.TasksCompleted)
+	p("tasks_reissued_total", "Tasks re-queued after worker death or lease expiry.", s.TasksReissued)
+	p("leases_expired_total", "Leases revoked after the worker went silent.", s.LeasesExpired)
+	p("tasks_quarantined_total", "Tasks abandoned after max attempts.", s.TasksQuarantined)
+	p("results_dropped_total", "Stale or duplicate results discarded.", s.ResultsDropped)
+	p("heartbeats_received_total", "Worker liveness pings received.", s.HeartbeatsReceived)
+	p("rounds_started_total", "Evaluation rounds started.", s.RoundsStarted)
+	p("rounds_completed_total", "Evaluation rounds fully completed.", s.RoundsCompleted)
+	p("rounds_cancelled_total", "Evaluation rounds cancelled or aborted.", s.RoundsCancelled)
+}

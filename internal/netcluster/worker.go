@@ -1,0 +1,307 @@
+package netcluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// WorkerOptions tunes a worker's protocol and reconnect behavior. The
+// zero value gets production defaults; liveness cadence additionally
+// defers to whatever the master stamps into the broadcast Setup, so a
+// fleet follows its master's tuning without per-worker flags.
+type WorkerOptions struct {
+	// HeartbeatInterval is how often a computing worker pings the master
+	// to keep its task lease alive. Zero adopts the master's broadcast
+	// cadence (or 5s if the master predates it).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals the worker tolerates
+	// while waiting for work before declaring the master dead. Zero
+	// adopts the master's broadcast value (or 3).
+	HeartbeatMisses int
+	// WriteTimeout bounds every protocol write. Default 10s.
+	WriteTimeout time.Duration
+	// SetupTimeout bounds the initial database broadcast. Default 2m.
+	SetupTimeout time.Duration
+	// ReconnectMin/ReconnectMax bound RunWorkerLoop's jittered
+	// exponential backoff. Defaults 100ms and 10s.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Dial opens the master connection; tests inject fault-injected
+	// conns (faultnet.Dialer) here. Default: TCP with a 10s timeout.
+	Dial func(addr string) (net.Conn, error)
+	// Logf, if non-nil, receives reconnect/backoff diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 2 * time.Minute
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 100 * time.Millisecond
+	}
+	if o.ReconnectMax < o.ReconnectMin {
+		o.ReconnectMax = 10 * time.Second
+		if o.ReconnectMax < o.ReconnectMin {
+			o.ReconnectMax = o.ReconnectMin
+		}
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// cadence resolves the liveness timing for one session: explicit
+// options win, then the master's broadcast values, then defaults.
+func (o WorkerOptions) cadence(setup Setup) (interval time.Duration, timeout time.Duration) {
+	interval = o.HeartbeatInterval
+	if interval <= 0 {
+		if setup.HeartbeatIntervalMS > 0 {
+			interval = time.Duration(setup.HeartbeatIntervalMS) * time.Millisecond
+		} else {
+			interval = 5 * time.Second
+		}
+	}
+	misses := o.HeartbeatMisses
+	if misses <= 0 {
+		if setup.HeartbeatMisses > 0 {
+			misses = setup.HeartbeatMisses
+		} else {
+			misses = 3
+		}
+	}
+	return interval, interval * time.Duration(misses)
+}
+
+// cachedEngine lets a reconnecting worker skip the engine rebuild when
+// the master broadcasts the same database again (same master, or a
+// restarted master with identical data).
+type cachedEngine struct {
+	hash   [sha256.Size]byte
+	engine *pipe.Engine
+}
+
+func (c *cachedEngine) get(setup Setup) (*pipe.Engine, error) {
+	h := setup.fingerprint()
+	if c.engine != nil && c.hash == h {
+		return c.engine, nil
+	}
+	e, err := setup.BuildEngine()
+	if err != nil {
+		return nil, err
+	}
+	c.hash, c.engine = h, e
+	return e, nil
+}
+
+// RunWorker connects to the master at addr, rebuilds the engine from
+// the broadcast Setup, and processes tasks until the END signal. It
+// returns the number of tasks processed. One connection, no reconnect;
+// long-lived deployments use RunWorkerLoop.
+func RunWorker(addr string) (int, error) {
+	return RunWorkerConn(context.Background(), addr, WorkerOptions{})
+}
+
+// RunWorkerConn is RunWorker with explicit options and cancellation.
+func RunWorkerConn(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
+	opts = opts.withDefaults()
+	conn, err := opts.Dial(addr)
+	if err != nil {
+		return 0, fmt.Errorf("netcluster: worker: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var cache cachedEngine
+	n, _, err := runWorkerConn(ctx, conn, opts, &cache)
+	return n, err
+}
+
+// RunWorkerLoop serves a master indefinitely, reconnecting with
+// jittered exponential backoff after dial failures, dropped
+// connections, and clean END signals — so a worker can start before
+// its master exists and survive master restarts. It returns the total
+// number of tasks processed, with ctx.Err() once the context ends (the
+// only way out).
+func RunWorkerLoop(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
+	opts = opts.withDefaults()
+	var cache cachedEngine
+	total := 0
+	backoff := opts.ReconnectMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		conn, err := opts.Dial(addr)
+		if err != nil {
+			opts.Logf("netcluster: worker: dial %s: %v (retry in ~%s)", addr, err, backoff)
+		} else {
+			var n int
+			var sawEnd bool
+			n, sawEnd, err = runWorkerConn(ctx, conn, opts, &cache)
+			conn.Close()
+			total += n
+			if ctx.Err() != nil {
+				return total, ctx.Err()
+			}
+			if n > 0 || sawEnd {
+				backoff = opts.ReconnectMin // productive session: reset backoff
+			}
+			switch {
+			case sawEnd:
+				opts.Logf("netcluster: worker: master at %s ended the run after %d tasks; watching for its return", addr, n)
+			case err != nil:
+				opts.Logf("netcluster: worker: session at %s dropped after %d tasks: %v (retry in ~%s)", addr, n, err, backoff)
+			}
+		}
+		if !sleepCtx(ctx, jitter(backoff)) {
+			return total, ctx.Err()
+		}
+		backoff *= 2
+		if backoff > opts.ReconnectMax {
+			backoff = opts.ReconnectMax
+		}
+	}
+}
+
+// jitter spreads a backoff delay over [d/2, d) so a fleet of workers
+// restarting together does not stampede the master.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// sleepCtx sleeps for d, reporting false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runWorkerConn speaks one connection's worth of the protocol: receive
+// the broadcast, build (or reuse) the engine, then request, compute and
+// return tasks — streaming lease-keepalive heartbeats while computing —
+// until END, a dead connection, or ctx cancellation.
+func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache *cachedEngine) (processed int, sawEnd bool, err error) {
+	// Unblock any pending read/write when the context ends.
+	watchdog := make(chan struct{})
+	defer close(watchdog)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchdog:
+		}
+	}()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var encMu sync.Mutex
+	send := func(msg requestMsg) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		return enc.Encode(msg)
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(opts.SetupTimeout))
+	var setup Setup
+	if err := dec.Decode(&setup); err != nil {
+		return 0, false, fmt.Errorf("netcluster: worker: receiving setup: %w", err)
+	}
+	engine, err := cache.get(setup)
+	if err != nil {
+		return 0, false, fmt.Errorf("netcluster: worker: rebuilding engine: %w", err)
+	}
+	hbInterval, hbTimeout := opts.cadence(setup)
+	threads := setup.ThreadsPerWorker
+	if threads <= 0 {
+		threads = 1
+	}
+	work := append([]int{setup.TargetID}, setup.NonTargetIDs...)
+
+	req := requestMsg{} // first request carries no result
+	for {
+		if err := ctx.Err(); err != nil {
+			return processed, false, err
+		}
+		if err := send(req); err != nil {
+			return processed, false, fmt.Errorf("netcluster: worker: sending request: %w", err)
+		}
+		var t taskMsg
+		for {
+			// gob leaves fields absent from the stream unchanged, so the
+			// scratch message must be reset between decodes.
+			t = taskMsg{}
+			_ = conn.SetReadDeadline(time.Now().Add(hbTimeout))
+			if err := dec.Decode(&t); err != nil {
+				return processed, false, fmt.Errorf("netcluster: worker: receiving task: %w", err)
+			}
+			if !t.Heartbeat {
+				break // a real task or END
+			}
+		}
+		if t.End {
+			return processed, true, nil
+		}
+		cand, err := seq.New(t.Name, t.Residues)
+		if err != nil {
+			// Poison task: drop the connection so the master burns one of
+			// the task's attempts instead of looping on it here.
+			return processed, false, fmt.Errorf("netcluster: worker: bad candidate: %w", err)
+		}
+		// Keep the lease alive while computing.
+		stopHB := make(chan struct{})
+		var hbWG sync.WaitGroup
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			tick := time.NewTicker(hbInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-tick.C:
+					if send(requestMsg{Heartbeat: true}) != nil {
+						return // dead conn; the result send will surface it
+					}
+				}
+			}
+		}()
+		scores := engine.ScoreMany(cand, work, threads)
+		close(stopHB)
+		hbWG.Wait()
+		req = requestMsg{
+			HasResult: true,
+			Index:     t.Index,
+			Attempt:   t.Attempt,
+			Target:    scores[0],
+			NonTarget: scores[1:],
+		}
+		processed++
+	}
+}

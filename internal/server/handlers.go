@@ -191,6 +191,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g := s.jobs.gauges()
 	g.CacheSize = s.engines.size()
 	s.metrics.render(w, g)
+	for _, extra := range s.cfg.ExtraMetrics {
+		extra(w)
+	}
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {

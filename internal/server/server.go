@@ -12,7 +12,9 @@
 //     per-generation progress via GET /v1/designs/{id} and prompt
 //     cancellation via DELETE /v1/designs/{id};
 //   - GET /healthz and GET /metrics — liveness plus queue depth, jobs by
-//     state, engine-cache hits/misses, and request-latency counters.
+//     state, engine-cache hits/misses, and request-latency counters;
+//     Config.ExtraMetrics appends external collectors (e.g. a netcluster
+//     master's lease and reconnect counters) to the same exposition.
 //
 // Everything is stdlib net/http; Drain implements graceful SIGTERM
 // shutdown (stop intake, finish running jobs, then abort stragglers).
@@ -21,6 +23,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"time"
@@ -56,6 +59,12 @@ type Config struct {
 	// Engines are pre-built engines seeded into the cache under their own
 	// fingerprints (embedders and tests that already paid for a build).
 	Engines []*pipe.Engine
+	// ExtraMetrics are appended to the GET /metrics exposition after the
+	// service's own counters. Embedders running a distributed evaluation
+	// master alongside the service plug its counters in here, e.g.
+	//
+	//	func(w io.Writer) { master.Stats().WritePrometheus(w, "insipsd_netcluster") }
+	ExtraMetrics []func(io.Writer)
 }
 
 func (c Config) withDefaults() Config {

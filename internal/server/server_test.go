@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netcluster"
 	"repro/internal/pipe"
+	"repro/internal/seq"
 	"repro/internal/server"
 	"repro/internal/yeastgen"
 )
@@ -464,5 +468,55 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	var h server.HealthJSON
 	if hresp := getJSON(t, ts.URL+"/healthz", &h); hresp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
 		t.Errorf("healthz while draining: %d %q", hresp.StatusCode, h.Status)
+	}
+}
+
+// TestExtraMetricsExposesNetclusterStats wires a live distributed-
+// evaluation master into the service's /metrics page via
+// Config.ExtraMetrics and checks its counters render after one round.
+func TestExtraMetricsExposesNetclusterStats(t *testing.T) {
+	_, eng := fixture(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := netcluster.NewMaster(netcluster.NewSetup(eng, 0, []int{1}, 1), ln)
+	t.Cleanup(func() { master.Close() })
+	_, ts := newTestServer(t, func(c *server.Config) {
+		c.ExtraMetrics = []func(io.Writer){
+			func(w io.Writer) { master.Stats().WritePrometheus(w, "insipsd_netcluster") },
+		}
+	})
+	go netcluster.RunWorker(master.Addr())
+
+	rng := rand.New(rand.NewSource(1))
+	seqs := []seq.Sequence{
+		seq.Random(rng, "a", 80, seq.YeastComposition()),
+		seq.Random(rng, "b", 80, seq.YeastComposition()),
+	}
+	if _, err := master.EvaluateAll(seqs); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"insipsd_netcluster_workers_connected",
+		"insipsd_netcluster_tasks_dispatched_total",
+		"insipsd_netcluster_tasks_completed_total 2",
+		"insipsd_netcluster_tasks_reissued_total",
+		"insipsd_netcluster_leases_expired_total",
+		"insipsd_netcluster_rounds_completed_total 1",
+		// The service's own metrics must still lead the page.
+		"insipsd_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
 }
