@@ -133,13 +133,26 @@ func (p *Pool) processCandidate(s seq.Sequence) Result {
 	work = append(work, p.targetID)
 	work = append(work, p.nonTargetIDs...)
 	scores := make([]float64, len(work))
+	threads := p.cfg.ThreadsPerWorker
+	if threads > len(work) {
+		threads = len(work)
+	}
+	if threads <= 1 {
+		scorer := p.engine.AcquireScorer()
+		defer p.engine.ReleaseScorer(scorer)
+		for i, id := range work {
+			scores[i] = scorer.Score(query, id)
+		}
+		return Result{TargetScore: scores[0], NonTargetScores: scores[1:]}
+	}
 	var next int64
 	var wg sync.WaitGroup
-	for t := 0; t < p.cfg.ThreadsPerWorker; t++ {
+	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scorer := p.engine.NewScorer()
+			scorer := p.engine.AcquireScorer()
+			defer p.engine.ReleaseScorer(scorer)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(work) {

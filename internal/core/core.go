@@ -122,6 +122,15 @@ type Options struct {
 	// fragments carry real interaction motifs, giving the GA an immediate
 	// foothold at small population budgets.
 	WarmStart bool
+	// FitnessCache, if non-nil, memoizes candidate evaluations across
+	// generations (and across Designers sharing the cache — entries are
+	// keyed by problem fingerprint, so different problems never
+	// cross-talk). If nil, the Designer creates a private cache of
+	// DefaultFitnessCacheSize; set DisableFitnessCache to evaluate every
+	// candidate unconditionally.
+	FitnessCache *FitnessCache
+	// DisableFitnessCache turns memoization off (ablation/debugging).
+	DisableFitnessCache bool
 }
 
 // Result is the outcome of a design run.
@@ -144,6 +153,9 @@ type Designer struct {
 	pool    *cluster.Pool
 	engine  *ga.Engine
 
+	cache     *FitnessCache // nil when memoization is disabled
+	problemFP uint64        // cache key namespace for this problem
+
 	details []Detail // details of the current generation, by index
 	evalErr error    // first Evaluate backend failure, surfaced by RunContext
 }
@@ -159,6 +171,13 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 		return nil, err
 	}
 	d := &Designer{problem: problem, opts: opts, pool: pool}
+	if !opts.DisableFitnessCache {
+		d.cache = opts.FitnessCache
+		if d.cache == nil {
+			d.cache = NewFitnessCache(DefaultFitnessCacheSize)
+		}
+		d.problemFP = ProblemFingerprint(problem.Engine, problem.TargetID, problem.NonTargetIDs)
+	}
 	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
 	if err != nil {
 		return nil, err
@@ -167,19 +186,50 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 	return d, nil
 }
 
-// evaluateAll is the GA's fitness callback: it runs the master/worker
-// evaluation (Algorithm 1's dispatch loop) and converts PIPE scores to
-// fitness, stashing the decomposition for curve recording.
+// evaluateAll is the GA's fitness callback: it serves memoized
+// candidates from the fitness cache (byte-identical sequences the copy
+// operator re-emits, or converged duplicates), runs the master/worker
+// evaluation (Algorithm 1's dispatch loop) for the misses only, and
+// converts PIPE scores to fitness, stashing the decomposition for curve
+// recording.
 func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	fits := make([]float64, len(seqs))
 	d.details = make([]Detail, len(seqs))
+	missIdx := make([]int, 0, len(seqs))
+	var missSeqs []seq.Sequence
+	if d.cache != nil {
+		for i, s := range seqs {
+			if det, ok := d.cache.lookup(d.problemFP, s.Residues()); ok {
+				d.details[i] = det
+				fits[i] = det.Fitness
+			} else {
+				missIdx = append(missIdx, i)
+			}
+		}
+		if len(missIdx) == len(seqs) {
+			missSeqs = seqs
+		} else {
+			missSeqs = make([]seq.Sequence, len(missIdx))
+			for k, i := range missIdx {
+				missSeqs[k] = seqs[i]
+			}
+		}
+	} else {
+		for i := range seqs {
+			missIdx = append(missIdx, i)
+		}
+		missSeqs = seqs
+	}
+	if len(missSeqs) == 0 {
+		return fits
+	}
 	var results []cluster.Result
 	if d.opts.Evaluate != nil {
 		var err error
-		results, err = d.opts.Evaluate(seqs)
-		if err != nil || len(results) != len(seqs) {
+		results, err = d.opts.Evaluate(missSeqs)
+		if err != nil || len(results) != len(missSeqs) {
 			if err == nil {
-				err = fmt.Errorf("core: evaluate backend returned %d results for %d candidates", len(results), len(seqs))
+				err = fmt.Errorf("core: evaluate backend returned %d results for %d candidates", len(results), len(missSeqs))
 			}
 			if d.evalErr == nil {
 				d.evalErr = err
@@ -187,12 +237,14 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 			return fits
 		}
 	} else {
-		results = d.pool.EvaluateAll(seqs)
+		results = d.pool.EvaluateAll(missSeqs)
 	}
-	for i, r := range results {
+	for k, r := range results {
+		i := missIdx[k]
 		if r.Err != nil {
 			// The cluster abandoned this task (e.g. after MaxAttempts);
 			// score it as a dead end rather than sinking the generation.
+			// Abandonment is not deterministic, so it is never memoized.
 			d.details[i] = Detail{}
 			continue
 		}
@@ -204,6 +256,9 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 		det.Fitness = Fitness(r.TargetScore, r.NonTargetScores)
 		d.details[i] = det
 		fits[i] = det.Fitness
+		if d.cache != nil {
+			d.cache.store(d.problemFP, seqs[i].Residues(), det)
+		}
 	}
 	return fits
 }

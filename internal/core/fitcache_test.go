@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pipe"
+)
+
+func TestFitnessCacheHitReturnsStoredDetail(t *testing.T) {
+	c := NewFitnessCache(8)
+	d := Detail{Fitness: 0.42, Target: 0.9, MaxNonTarget: 0.5, AvgNonTarget: 0.25}
+	c.store(1, "ACDEF", d)
+	got, ok := c.lookup(1, "ACDEF")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if got != d {
+		t.Fatalf("lookup = %+v, want %+v", got, d)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Entries != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+}
+
+func TestFitnessCacheFingerprintIsolation(t *testing.T) {
+	c := NewFitnessCache(8)
+	c.store(1, "ACDEF", Detail{Fitness: 0.42})
+	// Same residues under a different problem fingerprint: must miss.
+	if _, ok := c.lookup(2, "ACDEF"); ok {
+		t.Fatal("entry leaked across problem fingerprints")
+	}
+	// Different residues under the same fingerprint: must miss.
+	if _, ok := c.lookup(1, "ACDEG"); ok {
+		t.Fatal("entry returned for different residues")
+	}
+}
+
+func TestFitnessCacheLRUBound(t *testing.T) {
+	c := NewFitnessCache(3)
+	for i := 0; i < 5; i++ {
+		c.store(1, fmt.Sprintf("SEQ%d", i), Detail{Fitness: float64(i)})
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d, want bound 3", st.Entries)
+	}
+	// Oldest two evicted, newest three resident.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.lookup(1, fmt.Sprintf("SEQ%d", i)); ok {
+			t.Fatalf("SEQ%d survived past the LRU bound", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if d, ok := c.lookup(1, fmt.Sprintf("SEQ%d", i)); !ok || d.Fitness != float64(i) {
+			t.Fatalf("SEQ%d: ok=%v detail=%+v", i, ok, d)
+		}
+	}
+	// A lookup refreshes recency: touch SEQ2 then insert two more — SEQ2
+	// must outlive SEQ3.
+	c.lookup(1, "SEQ2")
+	c.store(1, "SEQ5", Detail{})
+	c.store(1, "SEQ6", Detail{})
+	if _, ok := c.lookup(1, "SEQ2"); !ok {
+		t.Fatal("recently used SEQ2 evicted before older entries")
+	}
+	if _, ok := c.lookup(1, "SEQ3"); ok {
+		t.Fatal("SEQ3 should have been evicted as least recently used")
+	}
+}
+
+func TestProblemFingerprintSensitivity(t *testing.T) {
+	pr, eng := setup(t)
+	base := ProblemFingerprint(eng, 0, []int{1, 2})
+	if ProblemFingerprint(eng, 0, []int{1, 2}) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if ProblemFingerprint(eng, 1, []int{1, 2}) == base {
+		t.Fatal("target change did not alter fingerprint")
+	}
+	if ProblemFingerprint(eng, 0, []int{1, 3}) == base {
+		t.Fatal("non-target change did not alter fingerprint")
+	}
+	// A different engine configuration (a scoring ablation) must change
+	// the fingerprint even over the same proteome and graph.
+	alt, err := pipe.New(pr.Proteins, pr.Graph, pipe.Config{MinOcc: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ProblemFingerprint(alt, 0, []int{1, 2}) == base {
+		t.Fatal("engine config change did not alter fingerprint")
+	}
+}
+
+func TestFitnessCachePrometheus(t *testing.T) {
+	c := NewFitnessCache(4)
+	c.store(7, "AAAA", Detail{})
+	c.lookup(7, "AAAA")
+	c.lookup(7, "CCCC")
+	var b strings.Builder
+	c.WritePrometheus(&b, "insipsd_fitness_cache")
+	out := b.String()
+	for _, want := range []string{
+		"insipsd_fitness_cache_hits_total 1",
+		"insipsd_fitness_cache_misses_total 1",
+		"insipsd_fitness_cache_entries 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDesignerCacheEquivalence is the end-to-end memo-cache correctness
+// test: an identical seeded run with the cache enabled must produce the
+// same Result as a cache-disabled run, while actually taking hits.
+func TestDesignerCacheEquivalence(t *testing.T) {
+	_, eng := setup(t)
+	problem := Problem{Engine: eng, TargetID: 0, NonTargetIDs: []int{1}}
+
+	run := func(cache *FitnessCache, disable bool) Result {
+		opts := designOpts(10, 6, 42)
+		opts.FitnessCache = cache
+		opts.DisableFitnessCache = disable
+		d, err := NewDesigner(problem, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil, true)
+	cache := NewFitnessCache(0)
+	cached := run(cache, false)
+
+	if !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("cached run diverged from plain run:\nplain:  %+v\ncached: %+v", plain, cached)
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("cache took no hits over a converging GA run: %+v", st)
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("implausible cache stats: %+v", st)
+	}
+
+	// A second identical run sharing the cache replays memoized
+	// evaluations and still reproduces the same Result.
+	before := cache.Stats().Hits
+	again := run(cache, false)
+	if !reflect.DeepEqual(plain, again) {
+		t.Fatal("shared-cache rerun diverged from plain run")
+	}
+	if cache.Stats().Hits <= before {
+		t.Fatal("shared-cache rerun took no additional hits")
+	}
+}

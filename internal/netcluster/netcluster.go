@@ -48,10 +48,15 @@ type Protein struct {
 
 // Setup is the broadcast payload: everything a worker needs to rebuild
 // the shared read-only state. Substitution matrix and reduced alphabet
-// travel by name, since they are code, not data.
+// travel by name, since they are code, not data. DB carries the master's
+// precomputed per-protein CSR similarity profiles — the paper's offline
+// database, "among the data loaded and broadcast by the master process" —
+// so workers skip the similarity search instead of recomputing it;
+// an empty DB (older master) falls back to local recomputation.
 type Setup struct {
 	Proteins []Protein
 	Edges    [][2]int32
+	DB       []simindex.FlatProfile
 
 	Window      int
 	SeedLen     int
@@ -66,7 +71,9 @@ type Setup struct {
 	ScoreScale   float64
 	Pseudocount  float64
 	MinOcc       int
+	MinEvidence  int
 	WeightScale  float64
+	WeightCap    float64
 
 	TargetID         int
 	NonTargetIDs     []int
@@ -98,7 +105,9 @@ func NewSetup(e *pipe.Engine, targetID int, nonTargetIDs []int, threadsPerWorker
 		ScoreScale:       cfg.ScoreScale,
 		Pseudocount:      cfg.Pseudocount,
 		MinOcc:           cfg.MinOcc,
+		MinEvidence:      cfg.MinEvidence,
 		WeightScale:      cfg.WeightScale,
+		WeightCap:        cfg.WeightCap,
 		TargetID:         targetID,
 		NonTargetIDs:     nonTargetIDs,
 		ThreadsPerWorker: threadsPerWorker,
@@ -111,6 +120,7 @@ func NewSetup(e *pipe.Engine, targetID int, nonTargetIDs []int, threadsPerWorker
 		s.Edges = append(s.Edges, [2]int32{int32(a), int32(b)})
 		return true
 	})
+	s.DB = e.DBProfiles()
 	return s
 }
 
@@ -160,7 +170,12 @@ func (s Setup) BuildEngine() (*pipe.Engine, error) {
 		ScoreScale:   s.ScoreScale,
 		Pseudocount:  s.Pseudocount,
 		MinOcc:       s.MinOcc,
+		MinEvidence:  s.MinEvidence,
 		WeightScale:  s.WeightScale,
+		WeightCap:    s.WeightCap,
+	}
+	if len(s.DB) == len(proteins) && len(proteins) > 0 {
+		return pipe.NewFromProfiles(proteins, builder.Build(), cfg, s.DB)
 	}
 	return pipe.New(proteins, builder.Build(), cfg, 0)
 }

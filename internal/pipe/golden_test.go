@@ -1,0 +1,370 @@
+package pipe
+
+// Golden equivalence suite: a frozen copy of the seed map-based scoring
+// kernel (Profile map + per-ID weight map + sorted key list, full-matrix
+// scratch clearing) is kept here as the reference implementation. The
+// CSR kernel must reproduce its scores BIT-IDENTICALLY — determinism of
+// float accumulation order across processes is a documented invariant —
+// across seeds, thread counts and every ablation configuration.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simindex"
+	"repro/internal/submat"
+)
+
+// goldenQuery is the seed layout of a preprocessed sequence.
+type goldenQuery struct {
+	seq      seq.Sequence
+	profile  simindex.Profile
+	occCount []int32
+	occW     []float32
+	weights  map[int32][]float32
+	order    []int32
+}
+
+// goldenFromQuery rebuilds the seed query layout from a CSR query,
+// following the seed construction code path exactly (including its
+// two-pass, sorted-order occW accumulation).
+func goldenFromQuery(e *Engine, q *Query) *goldenQuery {
+	prof := q.Profile().ToProfile()
+	nw := q.Seq.NumWindows(e.cfg.Index.Window)
+	if nw < 0 {
+		nw = 0
+	}
+	g := &goldenQuery{
+		seq:      q.Seq,
+		profile:  prof,
+		occCount: make([]int32, nw),
+		occW:     make([]float32, nw),
+		weights:  make(map[int32][]float32, len(prof)),
+	}
+	for id, entries := range prof {
+		g.order = append(g.order, id)
+		ws := make([]float32, len(entries))
+		for k, ps := range entries {
+			w := e.weightOf(ps.Score)
+			ws[k] = w
+			g.occCount[ps.Pos]++
+		}
+		g.weights[id] = ws
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i] < g.order[j] })
+	for _, id := range g.order {
+		for k, ps := range prof[id] {
+			g.occW[ps.Pos] += g.weights[id][k]
+		}
+	}
+	return g
+}
+
+// goldenScore is the seed Score + topSpecificity, verbatim except that
+// scratch is freshly allocated (the seed zeroed it in full every call,
+// which is equivalent).
+func goldenScore(e *Engine, q, b *goldenQuery) float64 {
+	w := e.cfg.Index.Window
+	n := q.seq.NumWindows(w)
+	m := b.seq.NumWindows(w)
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	mat := make([]float32, n*m)
+	evid := make([]uint16, n*m)
+	stamp := make([]int32, n*m)
+	horiz := make([]float32, n*m)
+	for _, x := range q.order {
+		aEntries := q.profile[x]
+		aWeights := q.weights[x]
+		xStamp := x + 1
+		for _, y := range e.graph.Neighbors(int(x)) {
+			bEntries, ok := b.profile[y]
+			if !ok {
+				continue
+			}
+			bWeights := b.weights[y]
+			for ai, pa := range aEntries {
+				wa := aWeights[ai]
+				base := int(pa.Pos) * m
+				row := mat[base : base+m]
+				for bi, pb := range bEntries {
+					row[pb.Pos] += wa * bWeights[bi]
+					if stamp[base+int(pb.Pos)] != xStamp {
+						stamp[base+int(pb.Pos)] = xStamp
+						evid[base+int(pb.Pos)]++
+					}
+				}
+			}
+		}
+	}
+
+	r := e.cfg.FilterRadius
+	if e.cfg.Unfiltered {
+		r = 0
+	}
+	sumA := boxSum1D(q.occW, n, r)
+	sumB := boxSum1D(b.occW, m, r)
+	for i := 0; i < n; i++ {
+		row := mat[i*m : i*m+m]
+		var acc float32
+		for j := 0; j <= r && j < m; j++ {
+			acc += row[j]
+		}
+		out := horiz[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			out[j] = acc
+			if j+r+1 < m {
+				acc += row[j+r+1]
+			}
+			if j-r >= 0 {
+				acc -= row[j-r]
+			}
+		}
+	}
+	k := int(e.cfg.TopFrac * float64(n*m))
+	if k < 1 {
+		k = 1
+	}
+	top := make([]float64, 0, k)
+	colAcc := make([]float32, m)
+	for i := 0; i <= r && i < n; i++ {
+		for j := 0; j < m; j++ {
+			colAcc[j] += horiz[i*m+j]
+		}
+	}
+	support := float32(e.cfg.CellSupport)
+	alpha := e.cfg.Pseudocount
+	minOcc := int32(e.cfg.MinOcc)
+	minEvid := uint16(e.cfg.MinEvidence)
+	occA, occB := q.occCount, b.occCount
+	for i := 0; i < n; i++ {
+		sa := sumA[i]
+		for j := 0; j < m; j++ {
+			cnt := colAcc[j]
+			if cnt >= support && evid[i*m+j] >= minEvid &&
+				occA[i] >= minOcc && occB[j] >= minOcc && sa > 0 && sumB[j] > 0 {
+				v := float64(cnt) / (sa*sumB[j] + alpha)
+				if v > 1 {
+					v = 1
+				}
+				top = heapPush(top, v, k)
+			}
+		}
+		if i+r+1 < n {
+			row := horiz[(i+r+1)*m : (i+r+1)*m+m]
+			for j := 0; j < m; j++ {
+				colAcc[j] += row[j]
+			}
+		}
+		if i-r >= 0 {
+			row := horiz[(i-r)*m : (i-r)*m+m]
+			for j := 0; j < m; j++ {
+				colAcc[j] -= row[j]
+			}
+		}
+	}
+	if len(top) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range top {
+		total += v
+	}
+	raw := total / float64(k)
+	return raw / (raw + e.cfg.ScoreScale)
+}
+
+// goldenConfigs are the ablation configurations the equivalence suite
+// covers: the default engine plus every scoring knob the ISSUE names.
+func goldenConfigs() map[string]Config {
+	return map[string]Config{
+		"default":    {},
+		"unfiltered": {Unfiltered: true, CellSupport: 0.3},
+		"minocc1":    {MinOcc: 1, MinEvidence: 1},
+		"weightcap":  {WeightCap: 2.5, WeightScale: 25},
+		"blosum62":   {Index: simindex.Config{Matrix: submat.BLOSUM62()}},
+	}
+}
+
+func TestCSRKernelMatchesGoldenKernel(t *testing.T) {
+	pr, defaultEngine := testSetup(t)
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := defaultEngine
+			if name != "default" {
+				var err error
+				e, err = New(pr.Proteins, pr.Graph, cfg, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Golden contexts for a subset of database proteins.
+			golden := make(map[int]*goldenQuery)
+			gq := func(id int) *goldenQuery {
+				if g, ok := golden[id]; ok {
+					return g
+				}
+				g := goldenFromQuery(e, e.db[id])
+				golden[id] = g
+				return g
+			}
+			scorer := e.NewScorer()
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			// Database pairs, reusing one scorer so the sparse-reset path
+			// is exercised across many sizes in sequence.
+			for trial := 0; trial < 25; trial++ {
+				a := rng.Intn(len(pr.Proteins))
+				b := rng.Intn(len(pr.Proteins))
+				want := goldenScore(e, gq(a), gq(b))
+				got := scorer.Score(e.db[a], b)
+				if got != want {
+					t.Fatalf("ScorePair(%d,%d) = %v, golden kernel %v (diff %g)",
+						a, b, got, want, math.Abs(got-want))
+				}
+			}
+			// Synthetic candidates across thread counts, like the GA emits.
+			for trial := 0; trial < 5; trial++ {
+				cand := seq.Random(rng, "cand", 90+rng.Intn(120), seq.YeastComposition())
+				for _, threads := range []int{1, 3} {
+					q := e.NewQuery(cand, threads)
+					g := goldenFromQuery(e, q)
+					for _, b := range []int{0, 7, 19} {
+						want := goldenScore(e, g, gq(b))
+						if got := scorer.Score(q, b); got != want {
+							t.Fatalf("Score(cand@%d threads, %d) = %v, golden %v",
+								threads, b, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSRQueryMatchesGoldenLayout checks the derived per-window vectors
+// — including the float32 occW sums whose accumulation order the CSR
+// layout must preserve — are bit-identical to the seed construction.
+func TestCSRQueryMatchesGoldenLayout(t *testing.T) {
+	pr, e := testSetup(t)
+	rng := rand.New(rand.NewSource(77))
+	queries := []*Query{e.db[0], e.db[5], e.db[17]}
+	for i := 0; i < 4; i++ {
+		queries = append(queries,
+			e.NewQuery(seq.Random(rng, "q", 80+rng.Intn(150), seq.YeastComposition()), 1+i))
+	}
+	for qi, q := range queries {
+		g := goldenFromQuery(e, q)
+		if len(q.occCount) != len(g.occCount) || len(q.occW) != len(g.occW) {
+			t.Fatalf("query %d: vector lengths differ", qi)
+		}
+		for i := range g.occCount {
+			if q.occCount[i] != g.occCount[i] {
+				t.Fatalf("query %d: occCount[%d] = %d, golden %d", qi, i, q.occCount[i], g.occCount[i])
+			}
+			if q.occW[i] != g.occW[i] {
+				t.Fatalf("query %d: occW[%d] = %v, golden %v (accumulation order changed)",
+					qi, i, q.occW[i], g.occW[i])
+			}
+		}
+		// The dense lookup table and CSR weights agree with the maps.
+		prof := q.Profile()
+		for r, id := range prof.IDs {
+			if q.lookup[id] != int32(r) {
+				t.Fatalf("query %d: lookup[%d] = %d, want row %d", qi, id, q.lookup[id], r)
+			}
+			ws := g.weights[id]
+			lo := prof.Offsets[r]
+			for k := range ws {
+				if q.weight[int(lo)+k] != ws[k] {
+					t.Fatalf("query %d protein %d: weight[%d] = %v, golden %v",
+						qi, id, k, q.weight[int(lo)+k], ws[k])
+				}
+			}
+		}
+		_ = pr
+	}
+}
+
+// TestScoreManyDeterministicAcrossThreads is the determinism property
+// test: the same query scored under nThreads ∈ {1, 2, 8} must produce
+// identical floats, both for query construction and batch scoring.
+func TestScoreManyDeterministicAcrossThreads(t *testing.T) {
+	pr, e := testSetup(t)
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]int, len(pr.Proteins))
+	for i := range ids {
+		ids[i] = i
+	}
+	for trial := 0; trial < 3; trial++ {
+		q := seq.Random(rng, "q", 120+30*trial, seq.YeastComposition())
+		base := e.ScoreMany(q, ids, 1)
+		for _, threads := range []int{2, 8} {
+			got := e.ScoreMany(q, ids, threads)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("trial %d: ScoreMany[%d] differs at %d threads: %v vs %v",
+						trial, i, threads, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScoreManyFewerTasksThanThreads pins the satellite fix: nThreads
+// larger than the task list must not break results (and must not spawn
+// idle goroutines — verified by the capped code path returning the same
+// values).
+func TestScoreManyFewerTasksThanThreads(t *testing.T) {
+	pr, e := testSetup(t)
+	q := pr.Proteins[3]
+	if out := e.ScoreMany(q, nil, 8); len(out) != 0 {
+		t.Fatalf("empty id list returned %d scores", len(out))
+	}
+	ids := []int{2}
+	one := e.ScoreMany(q, ids, 16)
+	if len(one) != 1 {
+		t.Fatalf("got %d scores for 1 id", len(one))
+	}
+	if want := e.ScoreMany(q, ids, 1)[0]; one[0] != want {
+		t.Fatalf("capped thread count changed score: %v vs %v", one[0], want)
+	}
+}
+
+// TestSparseResetAcrossShapes stresses the touched-row reset invariant:
+// a scorer reused across queries and targets of many shapes (growing,
+// shrinking, dense, sparse) must match a fresh scorer on every call.
+func TestSparseResetAcrossShapes(t *testing.T) {
+	pr, e := testSetup(t)
+	rng := rand.New(rand.NewSource(13))
+	reused := e.NewScorer()
+	for trial := 0; trial < 40; trial++ {
+		var q *Query
+		if trial%3 == 0 {
+			q = e.NewQuery(seq.Random(rng, "q", 60+rng.Intn(200), seq.YeastComposition()), 1)
+		} else {
+			q = e.db[rng.Intn(len(pr.Proteins))]
+		}
+		b := rng.Intn(len(pr.Proteins))
+		want := e.NewScorer().Score(q, b)
+		if got := reused.Score(q, b); got != want {
+			t.Fatalf("trial %d: reused scorer %v, fresh scorer %v", trial, got, want)
+		}
+	}
+}
+
+// TestAcquireScorerRoundTrip covers the engine's scorer pool.
+func TestAcquireScorerRoundTrip(t *testing.T) {
+	_, e := testSetup(t)
+	s1 := e.AcquireScorer()
+	want := s1.Score(e.db[1], 2)
+	e.ReleaseScorer(s1)
+	s2 := e.AcquireScorer()
+	defer e.ReleaseScorer(s2)
+	if got := s2.Score(e.db[1], 2); got != want {
+		t.Fatalf("pooled scorer: %v, want %v", got, want)
+	}
+}

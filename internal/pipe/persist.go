@@ -28,14 +28,17 @@ var ErrStaleDB = errors.New("similarity database is stale")
 // a fingerprint of the proteome and configuration so a stale database
 // cannot be applied to the wrong inputs.
 
-// dbFileVersion guards the on-disk format.
-const dbFileVersion = 1
+// dbFileVersion guards the on-disk format. Version 2 switched the
+// profiles from the map form to the flat CSR form (simindex.FlatProfile);
+// version-1 files are reported stale and must be rebuilt with
+// cmd/buildpipedb.
+const dbFileVersion = 2
 
 // dbFile is the gob-encoded database layout.
 type dbFile struct {
 	Version     int
 	Fingerprint uint64
-	Profiles    []simindex.Profile
+	Profiles    []simindex.FlatProfile
 }
 
 // fingerprint hashes everything the profiles depend on: the proteome
@@ -103,10 +106,10 @@ func DBFingerprint(path string) (uint64, error) {
 
 // SaveDB writes the engine's precomputed similarity database to w.
 func (e *Engine) SaveDB(w io.Writer) error {
-	profiles := make([]simindex.Profile, len(e.db))
+	profiles := make([]simindex.FlatProfile, len(e.db))
 	proteins := make([]seq.Sequence, len(e.db))
 	for i, q := range e.db {
-		profiles[i] = q.Profile
+		profiles[i] = q.prof
 		proteins[i] = q.Seq
 	}
 	return gob.NewEncoder(w).Encode(dbFile{
@@ -150,24 +153,7 @@ func NewFromDB(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, r io.Read
 		return nil, fmt.Errorf("pipe: database fingerprint %x does not match proteome/config %x: %w",
 			file.Fingerprint, got, ErrStaleDB)
 	}
-	if len(file.Profiles) != len(proteins) {
-		return nil, fmt.Errorf("pipe: database has %d profiles for %d proteins",
-			len(file.Profiles), len(proteins))
-	}
-	ix, err := simindex.Build(proteins, cfg.Index)
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{
-		cfg:   cfg,
-		graph: g,
-		index: ix,
-		db:    make([]*Query, len(proteins)),
-	}
-	for i, p := range proteins {
-		e.db[i] = e.newQueryFromProfile(p, file.Profiles[i])
-	}
-	return e, nil
+	return NewFromProfiles(proteins, g, cfg, file.Profiles)
 }
 
 // NewFromDBFile is NewFromDB reading from a file.

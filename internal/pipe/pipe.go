@@ -134,12 +134,13 @@ func (c Config) withDefaults() Config {
 
 // Engine scores protein pairs against a fixed proteome and interaction
 // graph. It is immutable after New and safe for concurrent use; per-call
-// scratch space lives in Scorer values.
+// scratch space lives in Scorer values (reused via AcquireScorer).
 type Engine struct {
-	cfg   Config
-	graph *ppigraph.Graph
-	index *simindex.Index
-	db    []*Query // precomputed query context per natural protein
+	cfg     Config
+	graph   *ppigraph.Graph
+	index   *simindex.Index
+	db      []*Query  // precomputed query context per natural protein
+	scorers sync.Pool // *Scorer reuse across batch calls
 }
 
 // Query is the preprocessed form of one sequence: its similarity profile
@@ -147,14 +148,29 @@ type Engine struct {
 // Query is the candidate preprocessing step of Algorithm 2 ("build
 // specified portion of sequence_similarity in parallel"). A Query is
 // immutable and safe for concurrent use.
+//
+// The profile is held in CSR form (see simindex.FlatProfile): the scoring
+// inner loop walks contiguous position/weight slices, and the dense
+// per-proteome lookup table turns "does the profile cover protein y" into
+// one array read instead of a map probe.
 type Query struct {
 	Seq      seq.Sequence
-	Profile  simindex.Profile
-	occCount []int32             // per-window count of distinct similar proteins
-	occW     []float32           // per-window sum of similarity weights
-	weights  map[int32][]float32 // per profile entry, aligned with Profile positions
-	order    []int32             // profile keys, sorted: deterministic accumulation
+	prof     simindex.FlatProfile
+	weight   []float32 // graded similarity weight, parallel to prof.Pos
+	occCount []int32   // per-window count of distinct similar proteins
+	occW     []float32 // per-window sum of similarity weights
+	lookup   []int32   // protein ID -> row in prof, -1 if absent; len = proteome size
+	// boxOcc and eligible are derived from occCount/occW at the engine's
+	// effective filter radius, once per query instead of once per Score
+	// call: boxOcc is the smoothed-occurrence normalization vector and
+	// eligible[i] folds the per-window filter clauses
+	// (occCount[i] >= MinOcc && boxOcc[i] > 0) into a single byte.
+	boxOcc   []float64
+	eligible []bool
 }
+
+// Profile returns the query's CSR similarity profile (shared; read-only).
+func (q *Query) Profile() simindex.FlatProfile { return q.prof }
 
 // New builds an engine over the proteome and interaction graph. The i-th
 // protein must be the graph vertex with ID i (matched by name). The
@@ -175,12 +191,7 @@ func New(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, nThreads int) (
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:   cfg,
-		graph: g,
-		index: ix,
-		db:    make([]*Query, len(proteins)),
-	}
+	e := newEngine(cfg, g, ix, len(proteins))
 	if nThreads <= 0 {
 		nThreads = runtime.GOMAXPROCS(0)
 	}
@@ -198,6 +209,40 @@ func New(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, nThreads int) (
 	return e, nil
 }
 
+// NewFromProfiles builds an engine like New but from precomputed CSR
+// similarity profiles (one per protein, aligned with the proteome) —
+// the payload a persisted database or a distributed Setup broadcast
+// carries, sparing the receiver the similarity search.
+func NewFromProfiles(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, profiles []simindex.FlatProfile) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if g.NumProteins() != len(proteins) {
+		return nil, fmt.Errorf("pipe: %d proteins but graph has %d vertices", len(proteins), g.NumProteins())
+	}
+	if len(profiles) != len(proteins) {
+		return nil, fmt.Errorf("pipe: %d profiles for %d proteins", len(profiles), len(proteins))
+	}
+	ix, err := simindex.Build(proteins, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg, g, ix, len(proteins))
+	for i, p := range proteins {
+		e.db[i] = e.newQueryFromProfile(p, profiles[i])
+	}
+	return e, nil
+}
+
+func newEngine(cfg Config, g *ppigraph.Graph, ix *simindex.Index, nProteins int) *Engine {
+	e := &Engine{
+		cfg:   cfg,
+		graph: g,
+		index: ix,
+		db:    make([]*Query, nProteins),
+	}
+	e.scorers.New = func() any { return &Scorer{e: e} }
+	return e
+}
+
 // Config returns the effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
@@ -209,6 +254,17 @@ func (e *Engine) Index() *simindex.Index { return e.index }
 
 // DBQuery returns the precomputed query context of natural protein id.
 func (e *Engine) DBQuery(id int) *Query { return e.db[id] }
+
+// DBProfiles returns the per-protein CSR similarity profiles (shared;
+// read-only) — the broadcastable form of the offline database a
+// distributed master ships so workers skip the similarity search.
+func (e *Engine) DBProfiles() []simindex.FlatProfile {
+	out := make([]simindex.FlatProfile, len(e.db))
+	for i, q := range e.db {
+		out[i] = q.prof
+	}
+	return out
+}
 
 // weightOf grades a similarity score into (0, WeightCap].
 func (e *Engine) weightOf(score int32) float32 {
@@ -222,35 +278,44 @@ func (e *Engine) weightOf(score int32) float32 {
 	return float32(w)
 }
 
-func (e *Engine) newQueryFromProfile(s seq.Sequence, prof simindex.Profile) *Query {
+func (e *Engine) newQueryFromProfile(s seq.Sequence, prof simindex.FlatProfile) *Query {
 	nw := s.NumWindows(e.cfg.Index.Window)
 	if nw < 0 {
 		nw = 0
 	}
 	q := &Query{
 		Seq:      s,
-		Profile:  prof,
+		prof:     prof,
+		weight:   make([]float32, prof.NumEntries()),
 		occCount: make([]int32, nw),
 		occW:     make([]float32, nw),
-		weights:  make(map[int32][]float32, len(prof)),
+		lookup:   make([]int32, e.index.NumProteins()),
 	}
-	for id, entries := range prof {
-		q.order = append(q.order, id)
-		ws := make([]float32, len(entries))
-		for k, ps := range entries {
-			w := e.weightOf(ps.Score)
-			ws[k] = w
-			q.occCount[ps.Pos]++
-		}
-		q.weights[id] = ws
+	for i := range q.lookup {
+		q.lookup[i] = -1
 	}
-	sort.Slice(q.order, func(i, j int) bool { return q.order[i] < q.order[j] })
-	// Weighted occupancy accumulates in sorted order so float sums are
-	// deterministic across processes.
-	for _, id := range q.order {
-		for k, ps := range prof[id] {
-			q.occW[ps.Pos] += q.weights[id][k]
+	// CSR rows are ID-sorted and positions ascend within a row, so this
+	// single linear pass accumulates the weighted occupancy in exactly the
+	// sorted order the determinism invariant requires: float sums are
+	// identical across processes (and to the previous map-based layout).
+	for r, id := range prof.IDs {
+		q.lookup[id] = int32(r)
+		for j := prof.Offsets[r]; j < prof.Offsets[r+1]; j++ {
+			w := e.weightOf(prof.Score[j])
+			q.weight[j] = w
+			q.occCount[prof.Pos[j]]++
+			q.occW[prof.Pos[j]] += w
 		}
+	}
+	radius := e.cfg.FilterRadius
+	if e.cfg.Unfiltered {
+		radius = 0
+	}
+	q.boxOcc = boxSum1D(q.occW, nw, radius)
+	q.eligible = make([]bool, nw)
+	minOcc := int32(e.cfg.MinOcc)
+	for i := range q.eligible {
+		q.eligible[i] = q.occCount[i] >= minOcc && q.boxOcc[i] > 0
 	}
 	return q
 }
@@ -263,36 +328,118 @@ func (e *Engine) NewQuery(s seq.Sequence, nThreads int) *Query {
 }
 
 // Scorer holds reusable scratch space for result-matrix computation.
-// A Scorer is not safe for concurrent use; create one per goroutine.
+// A Scorer is not safe for concurrent use; create one per goroutine (or
+// borrow one with Engine.AcquireScorer).
+//
+// The accumulation scratch (mat/evid/stamp) is kept all-zero between
+// calls: Score records which result-matrix rows it dirties and reset
+// clears only those, so a call touching a few hundred cells no longer
+// pays a full n*m*(4+2+4)-byte memset. Freshly allocated slices are
+// zero by construction and are never re-cleared.
 type Scorer struct {
-	e      *Engine
-	mat    []float32
-	evid   []uint16 // distinct evidence proteins per cell
-	stamp  []int32  // last evidence protein to touch each cell
-	horiz  []float32
-	colAcc []float32
-	top    []float64
+	e         *Engine
+	mat       []float32
+	evid      []uint16 // distinct evidence proteins per cell
+	stamp     []int32  // last evidence protein to touch each cell
+	horiz     []float32
+	colAcc    []float32
+	top       []float64
+	touched   []int32 // result-matrix rows dirtied by the current call
+	rowMark   []bool  // per-row membership flag for touched
+	trackEvid bool    // evid/stamp maintained this call (MinEvidence > 0)
+	colLo     int     // column span dirtied by the current call
+	colHi     int     // (inclusive); colHi < colLo means nothing landed
+	spanLo    int     // column range actually written to scratch this
+	spanHi    int     // call (horiz and, within touched rows, mat/evid/stamp)
 }
 
-// NewScorer returns a Scorer bound to the engine.
+// NewScorer returns a fresh Scorer bound to the engine. Batch loops
+// should prefer AcquireScorer/ReleaseScorer, which recycle scratch
+// buffers across calls.
 func (e *Engine) NewScorer() *Scorer { return &Scorer{e: e} }
 
-func (s *Scorer) grow(n int) {
-	if cap(s.mat) < n {
-		s.mat = make([]float32, n)
-		s.evid = make([]uint16, n)
-		s.stamp = make([]int32, n)
-		s.horiz = make([]float32, n)
+// AcquireScorer borrows a Scorer from the engine's reuse pool. Return it
+// with ReleaseScorer when the batch is done; the warmed-up scratch
+// buffers then serve the next borrower without reallocation.
+func (e *Engine) AcquireScorer() *Scorer { return e.scorers.Get().(*Scorer) }
+
+// ReleaseScorer returns a Scorer obtained from AcquireScorer (or
+// NewScorer) to the pool. The caller must not use s afterwards.
+func (e *Engine) ReleaseScorer(s *Scorer) { e.scorers.Put(s) }
+
+// grow sizes the scratch for an n x m result matrix. Fresh allocations
+// are already zero (make zeroes); reused capacity is all-zero by the
+// reset invariant, so no clearing happens here in either path.
+func (s *Scorer) grow(n, m int) {
+	total := n * m
+	if cap(s.mat) < total {
+		s.mat = make([]float32, total)
+		s.evid = make([]uint16, total)
+		s.stamp = make([]int32, total)
+		s.horiz = make([]float32, total)
 	}
-	s.mat = s.mat[:n]
-	s.evid = s.evid[:n]
-	s.stamp = s.stamp[:n]
-	s.horiz = s.horiz[:n]
-	for i := range s.mat {
-		s.mat[i] = 0
-		s.evid[i] = 0
-		s.stamp[i] = 0
+	s.mat = s.mat[:total]
+	s.evid = s.evid[:total]
+	s.stamp = s.stamp[:total]
+	s.horiz = s.horiz[:total]
+	if cap(s.rowMark) < n {
+		s.rowMark = make([]bool, n)
 	}
+	s.rowMark = s.rowMark[:n]
+	s.touched = s.touched[:0]
+}
+
+// reset restores the all-zero scratch invariant after a call that
+// dirtied the recorded rows of an n x m matrix. Sparse calls clear only
+// the touched rows; above half density a straight bulk clear (which the
+// compiler lowers to memclr) is cheaper than chasing row indices.
+func (s *Scorer) reset(n, m int) {
+	if len(s.touched)*2 >= n {
+		for i := range s.mat {
+			s.mat[i] = 0
+		}
+		for i := range s.horiz {
+			s.horiz[i] = 0
+		}
+		if s.trackEvid {
+			for i := range s.evid {
+				s.evid[i] = 0
+			}
+			for i := range s.stamp {
+				s.stamp[i] = 0
+			}
+		}
+	} else {
+		// All writes this call — mat/evid/stamp in the accumulation,
+		// horiz in the smoothing pass — landed inside the recorded
+		// column span of each touched row.
+		lo, hi := s.spanLo, s.spanHi
+		for _, r := range s.touched {
+			base := int(r) * m
+			row := s.mat[base+lo : base+hi]
+			for j := range row {
+				row[j] = 0
+			}
+			hrow := s.horiz[base+lo : base+hi]
+			for j := range hrow {
+				hrow[j] = 0
+			}
+			if s.trackEvid {
+				erow := s.evid[base+lo : base+hi]
+				for j := range erow {
+					erow[j] = 0
+				}
+				srow := s.stamp[base+lo : base+hi]
+				for j := range srow {
+					srow[j] = 0
+				}
+			}
+		}
+	}
+	for _, r := range s.touched {
+		s.rowMark[r] = false
+	}
+	s.touched = s.touched[:0]
 }
 
 // Score computes PIPE(query, natural protein bID) in [0,1].
@@ -305,40 +452,79 @@ func (s *Scorer) Score(q *Query, bID int) float64 {
 	if n <= 0 || m <= 0 {
 		return 0
 	}
-	s.grow(n * m)
+	s.grow(n, m)
 	mat := s.mat
 	// Result matrix: for every known edge (X, Y) with query-similar
 	// windows on X and target-similar windows on Y, add the product of
 	// the two similarity weights to all (i, j) combinations. Iterating X
 	// over the query profile and Y over X's graph neighbors covers both
-	// orientations of each undirected edge.
+	// orientations of each undirected edge. The CSR rows are ID-sorted,
+	// so the accumulation order (and every float sum) matches the
+	// sorted-key iteration of the previous map layout exactly.
 	evid, stamp := s.evid, s.stamp
-	for _, x := range q.order {
-		aEntries := q.Profile[x]
-		aWeights := q.weights[x]
+	touched, rowMark := s.touched, s.rowMark
+	qp, bp := &q.prof, &b.prof
+	bLookup := b.lookup
+	// Per-cell evidence counts are only ever read by the MinEvidence
+	// filter; when that floor is zero the stamp/count bookkeeping (two
+	// extra arrays in cache, a compare and up to two stores per cell) is
+	// dead work and the whole mechanism is bypassed.
+	s.trackEvid = e.cfg.MinEvidence > 0
+	// colLo/colHi bound the columns any cell mass lands in; bPos rows are
+	// position-sorted, so each block updates the span in O(1). The span
+	// lets the smoothing and scan phases skip columns that are exactly
+	// zero everywhere.
+	colLo, colHi := m, -1
+	for r, x := range qp.IDs {
+		aStart, aEnd := qp.Offsets[r], qp.Offsets[r+1]
 		xStamp := x + 1 // stamps are 1-based so the zeroed matrix is "untouched"
 		for _, y := range e.graph.Neighbors(int(x)) {
-			bEntries, ok := b.Profile[y]
-			if !ok {
+			br := bLookup[y]
+			if br < 0 {
 				continue
 			}
-			bWeights := b.weights[y]
-			for ai, pa := range aEntries {
-				wa := aWeights[ai]
-				base := int(pa.Pos) * m
+			bPos := bp.Pos[bp.Offsets[br]:bp.Offsets[br+1]]
+			bW := b.weight[bp.Offsets[br]:bp.Offsets[br+1]]
+			if len(bPos) > 0 && aStart < aEnd {
+				if int(bPos[0]) < colLo {
+					colLo = int(bPos[0])
+				}
+				if int(bPos[len(bPos)-1]) > colHi {
+					colHi = int(bPos[len(bPos)-1])
+				}
+			}
+			for ai := aStart; ai < aEnd; ai++ {
+				wa := q.weight[ai]
+				pa := qp.Pos[ai]
+				if !rowMark[pa] {
+					rowMark[pa] = true
+					touched = append(touched, pa)
+				}
+				base := int(pa) * m
 				row := mat[base : base+m]
-				for bi, pb := range bEntries {
-					row[pb.Pos] += wa * bWeights[bi]
+				if !s.trackEvid {
+					for bi, pb := range bPos {
+						row[pb] += wa * bW[bi]
+					}
+					continue
+				}
+				erow := evid[base : base+m]
+				srow := stamp[base : base+m]
+				for bi, pb := range bPos {
+					row[pb] += wa * bW[bi]
 					// Count each evidence protein X once per cell.
-					if stamp[base+int(pb.Pos)] != xStamp {
-						stamp[base+int(pb.Pos)] = xStamp
-						evid[base+int(pb.Pos)]++
+					if srow[pb] != xStamp {
+						srow[pb] = xStamp
+						erow[pb]++
 					}
 				}
 			}
 		}
 	}
+	s.touched = touched
+	s.colLo, s.colHi = colLo, colHi
 	raw := s.topSpecificity(q, b, n, m)
+	s.reset(n, m)
 	return raw / (raw + e.cfg.ScoreScale)
 }
 
@@ -351,29 +537,96 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 	if e.cfg.Unfiltered {
 		r = 0
 	}
-	// Box sums of the weighted occurrence vectors (the normalization
-	// denominator is separable: the neighborhood sum of occA[i]*occB[j]
-	// equals boxSum(occA)[i] * boxSum(occB)[j]).
-	sumA := boxSum1D(q.occW, n, r)
-	sumB := boxSum1D(b.occW, m, r)
+	// The normalization denominator is separable: the neighborhood sum of
+	// occA[i]*occB[j] equals boxSum(occA)[i] * boxSum(occB)[j]. Both box
+	// sums are precomputed per Query (boxOcc), not per call.
+	sumA, sumB := q.boxOcc, b.boxOcc
 
-	// Horizontal box sums of the count matrix.
+	support := float32(e.cfg.CellSupport)
+	alpha := e.cfg.Pseudocount
+	minEvid := uint16(e.cfg.MinEvidence)
+
+	// Cells outside the touched rows and columns hold no mass — only the
+	// cancellation residue of incremental box-sum arithmetic — and their
+	// evidence counts are zero. The sweep below confines all per-cell
+	// work to the touched span when that is provably equivalent to the
+	// seed kernel's full sweep: either (a) the evidence floor already
+	// rejects every evid==0 cell, or (b) the support threshold exceeds
+	// the worst-case residue: at most 2*len(touched) ops, each
+	// contributing under one ulp of the largest partial sum, itself at
+	// most (2r+2)*maxRowMass (mat is non-negative, so a row's total mass
+	// dominates every box sum over it). The 2^-21 factor is float32's
+	// half-ulp (2^-24) with an 8x margin that also absorbs the rounding
+	// of the mass sums themselves. If neither holds (support <= 0 with
+	// no evidence floor), every cell is visited exactly like the seed
+	// kernel.
 	mat, horiz := s.mat, s.horiz
-	for i := 0; i < n; i++ {
-		row := mat[i*m : i*m+m]
-		var acc float32
-		for j := 0; j <= r && j < m; j++ {
-			acc += row[j]
+	sparseSafe := minEvid > 0
+	if !sparseSafe && s.colHi >= s.colLo {
+		var maxRowMass float32
+		for _, t := range s.touched {
+			row := mat[int(t)*m+s.colLo : int(t)*m+s.colHi+1]
+			var mass float32
+			for _, v := range row {
+				mass += v
+			}
+			if mass > maxRowMass {
+				maxRowMass = mass
+			}
 		}
-		out := horiz[i*m : i*m+m]
-		for j := 0; j < m; j++ {
+		resBound := float64(2*len(s.touched)+2) * float64(2*r+2) * float64(maxRowMass) / (1 << 21)
+		sparseSafe = float64(support) > resBound
+	} else if !sparseSafe {
+		sparseSafe = support > 0 // nothing landed; residue is exactly zero
+	}
+	lo, hi := 0, m
+	if sparseSafe {
+		if s.colHi < s.colLo {
+			lo, hi = 0, 0
+		} else {
+			if lo = s.colLo - r; lo < 0 {
+				lo = 0
+			}
+			if hi = s.colHi + r + 1; hi > m {
+				hi = m
+			}
+		}
+	}
+	s.spanLo, s.spanHi = lo, hi
+
+	// Horizontal box sums of the count matrix: touched rows, spanned
+	// columns. An untouched row is identically zero, so the incremental
+	// pass the seed kernel ran over it produced exactly +0 everywhere —
+	// which is what the scratch invariant already guarantees those horiz
+	// rows contain. Within a touched row, the accumulator entering
+	// column lo is rebuilt by the same ascending adds the seed pass
+	// performed (every skipped term is exactly +0, a bitwise no-op), and
+	// the loop is split at the filter-window boundaries so the interior
+	// runs branch-free; the float op sequence is unchanged throughout.
+	for _, t := range s.touched {
+		row := mat[int(t)*m : int(t)*m+m]
+		out := horiz[int(t)*m : int(t)*m+m]
+		var acc float32
+		for u := lo - r; u <= lo+r && u < m; u++ {
+			if u >= 0 {
+				acc += row[u]
+			}
+		}
+		j := lo
+		for ; j < r && j < hi; j++ {
 			out[j] = acc
 			if j+r+1 < m {
 				acc += row[j+r+1]
 			}
-			if j-r >= 0 {
-				acc -= row[j-r]
-			}
+		}
+		for ; j+r+1 < m && j < hi; j++ {
+			out[j] = acc
+			acc += row[j+r+1]
+			acc -= row[j-r]
+		}
+		for ; j < hi; j++ {
+			out[j] = acc
+			acc -= row[j-r]
 		}
 	}
 
@@ -390,43 +643,82 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 		s.colAcc = make([]float32, m)
 	}
 	colAcc := s.colAcc[:m]
-	for j := range colAcc {
+	for j := lo; j < hi; j++ {
 		colAcc[j] = 0
 	}
+	// The seed kernel slides colAcc down all n rows, adding row i+r+1 and
+	// subtracting row i-r at each step. Adding or subtracting an
+	// untouched (all +0) horiz row is a bitwise no-op, so only touched
+	// rows are applied — the float op sequence, and therefore every
+	// rounding decision, is the exact subsequence the full sweep
+	// performed. inWin counts touched rows inside the current filter
+	// window.
+	rowMark := s.rowMark
+	inWin := 0
 	for i := 0; i <= r && i < n; i++ {
-		for j := 0; j < m; j++ {
-			colAcc[j] += horiz[i*m+j]
+		if rowMark[i] {
+			inWin++
+			hrow := horiz[i*m+lo : i*m+hi]
+			dst := colAcc[lo:hi]
+			for j, h := range hrow {
+				dst[j] += h
+			}
 		}
 	}
-	support := float32(e.cfg.CellSupport)
-	alpha := e.cfg.Pseudocount
-	minOcc := int32(e.cfg.MinOcc)
-	minEvid := uint16(e.cfg.MinEvidence)
+	// eligible folds the occurrence-count and positive-denominator
+	// clauses of the cell filter into one precomputed byte per window;
+	// a row whose query side is ineligible cannot push any cell, with
+	// or without the sparse sweep. The filter is pure selection —
+	// dropping always-true clauses changes no float op and no push
+	// order.
+	qElig, bElig := q.eligible, b.eligible
 	evid := s.evid
-	occA, occB := q.occCount, b.occCount
 	for i := 0; i < n; i++ {
-		sa := sumA[i]
-		for j := 0; j < m; j++ {
-			cnt := colAcc[j]
-			if cnt >= support && evid[i*m+j] >= minEvid &&
-				occA[i] >= minOcc && occB[j] >= minOcc && sa > 0 && sumB[j] > 0 {
-				v := float64(cnt) / (sa*sumB[j] + alpha)
-				if v > 1 {
-					v = 1
+		if (!sparseSafe || inWin > 0) && qElig[i] {
+			sa := sumA[i]
+			base := i * m
+			if minEvid == 0 {
+				for j := lo; j < hi; j++ {
+					cnt := colAcc[j]
+					if cnt >= support && bElig[j] {
+						v := float64(cnt) / (sa*sumB[j] + alpha)
+						if v > 1 {
+							v = 1
+						}
+						if len(top) < k || v > top[0] {
+							top = heapPush(top, v, k)
+						}
+					}
 				}
-				top = heapPush(top, v, k)
+			} else {
+				for j := lo; j < hi; j++ {
+					cnt := colAcc[j]
+					if cnt >= support && evid[base+j] >= minEvid && bElig[j] {
+						v := float64(cnt) / (sa*sumB[j] + alpha)
+						if v > 1 {
+							v = 1
+						}
+						if len(top) < k || v > top[0] {
+							top = heapPush(top, v, k)
+						}
+					}
+				}
 			}
 		}
-		if i+r+1 < n {
-			row := horiz[(i+r+1)*m : (i+r+1)*m+m]
-			for j := 0; j < m; j++ {
-				colAcc[j] += row[j]
+		if a := i + r + 1; a < n && rowMark[a] {
+			inWin++
+			hrow := horiz[a*m+lo : a*m+hi]
+			dst := colAcc[lo:hi]
+			for j, h := range hrow {
+				dst[j] += h
 			}
 		}
-		if i-r >= 0 {
-			row := horiz[(i-r)*m : (i-r)*m+m]
-			for j := 0; j < m; j++ {
-				colAcc[j] -= row[j]
+		if d := i - r; d >= 0 && rowMark[d] {
+			inWin--
+			hrow := horiz[d*m+lo : d*m+hi]
+			dst := colAcc[lo:hi]
+			for j, h := range hrow {
+				dst[j] -= h
 			}
 		}
 	}
@@ -445,13 +737,22 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 
 // boxSum1D returns box sums of radius r over occ (zero-padded), as floats.
 func boxSum1D(occ []float32, n, r int) []float64 {
-	out := make([]float64, n)
+	return boxSum1DInto(nil, occ, n, r)
+}
+
+// boxSum1DInto is boxSum1D writing into dst (grown as needed), so the
+// hot path reuses Scorer scratch instead of allocating twice per call.
+func boxSum1DInto(dst []float64, occ []float32, n, r int) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	var acc float64
 	for i := 0; i <= r && i < n; i++ {
 		acc += float64(occ[i])
 	}
 	for i := 0; i < n; i++ {
-		out[i] = acc
+		dst[i] = acc
 		if i+r+1 < n {
 			acc += float64(occ[i+r+1])
 		}
@@ -459,7 +760,7 @@ func boxSum1D(occ []float32, n, r int) []float64 {
 			acc -= float64(occ[i-r])
 		}
 	}
-	return out
+	return dst
 }
 
 // heapPush maintains h as a min-heap of at most k largest values.
@@ -505,33 +806,54 @@ func heapPush(h []float64, v float64, k int) []float64 {
 // with nThreads workers. Convenience wrapper; batch callers should reuse
 // a Query and Scorer.
 func (e *Engine) Score(q seq.Sequence, bID, nThreads int) float64 {
-	return e.NewScorer().Score(e.NewQuery(q, nThreads), bID)
+	scorer := e.AcquireScorer()
+	defer e.ReleaseScorer(scorer)
+	return scorer.Score(e.NewQuery(q, nThreads), bID)
 }
 
 // ScorePair computes PIPE between two natural proteins using the
 // precomputed database contexts.
 func (e *Engine) ScorePair(aID, bID int) float64 {
-	return e.NewScorer().Score(e.db[aID], bID)
+	scorer := e.AcquireScorer()
+	defer e.ReleaseScorer(scorer)
+	return scorer.Score(e.db[aID], bID)
 }
 
 // ScoreMany computes PIPE(query, id) for every id in ids, splitting the
 // per-protein predictions across nThreads goroutines — the "all-workers"
 // inner loop of Algorithm 2. The query context is built once (also in
 // parallel) and shared read-only by all threads, mirroring the paper's
-// shared sequence_similarity structure.
+// shared sequence_similarity structure. At most one goroutine per task
+// is spawned, and scorers come from the engine's reuse pool rather than
+// being allocated per goroutine per call.
 func (e *Engine) ScoreMany(q seq.Sequence, ids []int, nThreads int) []float64 {
 	if nThreads <= 0 {
 		nThreads = runtime.GOMAXPROCS(0)
 	}
 	query := e.NewQuery(q, nThreads)
 	out := make([]float64, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	if nThreads > len(ids) {
+		nThreads = len(ids)
+	}
+	if nThreads == 1 {
+		scorer := e.AcquireScorer()
+		defer e.ReleaseScorer(scorer)
+		for i, id := range ids {
+			out[i] = scorer.Score(query, id)
+		}
+		return out
+	}
 	var next int64
 	var wg sync.WaitGroup
 	for t := 0; t < nThreads; t++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scorer := e.NewScorer()
+			scorer := e.AcquireScorer()
+			defer e.ReleaseScorer(scorer)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(ids) {

@@ -249,8 +249,9 @@ func TestDBQueryAndNewQueryAgree(t *testing.T) {
 	id := 11
 	fresh := e.NewQuery(pr.Proteins[id], 2)
 	db := e.DBQuery(id)
-	if len(fresh.Profile) != len(db.Profile) {
-		t.Fatalf("profile sizes differ: %d vs %d", len(fresh.Profile), len(db.Profile))
+	if fresh.Profile().NumProteins() != db.Profile().NumProteins() {
+		t.Fatalf("profile sizes differ: %d vs %d",
+			fresh.Profile().NumProteins(), db.Profile().NumProteins())
 	}
 	scorer := e.NewScorer()
 	for _, target := range []int{0, 1, 2} {

@@ -70,6 +70,9 @@ type DesignRequest struct {
 	WarmStart      *bool   `json:"warm_start,omitempty"`      // default true
 	Workers        int     `json:"workers,omitempty"`         // evaluator workers, default 2
 	Threads        int     `json:"threads,omitempty"`         // threads per worker, default 2
+	// NoFitnessCache disables the service-wide fitness memo cache for
+	// this job (every candidate is re-scored; ablation/debugging knob).
+	NoFitnessCache bool `json:"no_fitness_cache,omitempty"`
 }
 
 // JobJSON is the observable state of a design job.
@@ -340,7 +343,8 @@ func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
 			StallGenerations: def(req.StallGens, 50),
 			MaxGenerations:   def(req.MaxGenerations, 100),
 		},
-		WarmStart: warm,
+		WarmStart:           warm,
+		DisableFitnessCache: req.NoFitnessCache,
 	}
 	if spec.GA.SeqLen < 2*spec.GA.CrossoverMargin+2 {
 		return designSpec{}, fmt.Errorf("seq_len %d too short: need >= %d",

@@ -48,6 +48,8 @@ type designSpec struct {
 	Cluster      cluster.Config
 	Termination  ga.Termination
 	WarmStart    bool
+	// DisableFitnessCache opts this job out of the store-wide memo cache.
+	DisableFitnessCache bool
 }
 
 // job is one asynchronous design campaign. Mutable fields are guarded by
@@ -99,9 +101,13 @@ type jobSnapshot struct {
 }
 
 // jobStore owns the job table, the bounded queue, and the worker pool.
+// All design jobs share one fitness memo cache; entries are keyed by
+// problem fingerprint, so jobs over different engines or target sets
+// never exchange wrong hits.
 type jobStore struct {
-	engines *engineCache
-	metrics *metrics
+	engines  *engineCache
+	metrics  *metrics
+	fitcache *core.FitnessCache
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -117,10 +123,11 @@ type jobStore struct {
 
 func newJobStore(engines *engineCache, m *metrics, workers, capacity int) *jobStore {
 	s := &jobStore{
-		engines: engines,
-		metrics: m,
-		queue:   make(chan *job, capacity),
-		jobs:    make(map[string]*job),
+		engines:  engines,
+		metrics:  m,
+		fitcache: core.NewFitnessCache(0),
+		queue:    make(chan *job, capacity),
+		jobs:     make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -222,6 +229,7 @@ func (s *jobStore) gauges() gauges {
 		Running:     s.running,
 		JobsByState: byState,
 		Draining:    s.draining,
+		Fitness:     s.fitcache.Stats(),
 	}
 	s.mu.Unlock()
 	return g
@@ -275,10 +283,12 @@ func (s *jobStore) run(j *job) {
 		return
 	}
 	opts := core.Options{
-		GA:          j.spec.GA,
-		Cluster:     j.spec.Cluster,
-		Termination: j.spec.Termination,
-		WarmStart:   j.spec.WarmStart,
+		GA:                  j.spec.GA,
+		Cluster:             j.spec.Cluster,
+		Termination:         j.spec.Termination,
+		WarmStart:           j.spec.WarmStart,
+		FitnessCache:        s.fitcache,
+		DisableFitnessCache: j.spec.DisableFitnessCache,
 		OnGeneration: func(cp core.CurvePoint) {
 			j.mu.Lock()
 			j.curve = append(j.curve, cp)

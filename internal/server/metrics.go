@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // metrics aggregates the service's operational counters: per-route
@@ -88,6 +90,7 @@ type gauges struct {
 	JobsByState map[JobState]int
 	Draining    bool
 	CacheSize   int
+	Fitness     core.FitnessCacheStats // shared fitness memo cache
 }
 
 // render writes the Prometheus text exposition format. Only stdlib types
@@ -123,6 +126,13 @@ func (m *metrics) render(w http.ResponseWriter, g gauges) {
 	p("insipsd_engine_cache_misses_total %d", m.cacheMisses.Load())
 	p("# HELP insipsd_engine_cache_size Engines resident in the cache.")
 	p("insipsd_engine_cache_size %d", g.CacheSize)
+
+	p("# HELP insipsd_fitness_cache_hits_total Candidate evaluations served from the fitness memo cache.")
+	p("insipsd_fitness_cache_hits_total %d", g.Fitness.Hits)
+	p("# HELP insipsd_fitness_cache_misses_total Candidate evaluations that required a scoring round trip.")
+	p("insipsd_fitness_cache_misses_total %d", g.Fitness.Misses)
+	p("# HELP insipsd_fitness_cache_entries Memoized evaluations resident in the cache.")
+	p("insipsd_fitness_cache_entries %d", g.Fitness.Entries)
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))

@@ -105,6 +105,17 @@ func getJSON(t testing.TB, url string, v any) *http.Response {
 	return resp
 }
 
+// longDesign is a design request that keeps a worker busy until
+// cancelled: an effectively unbounded generation cap, with the fitness
+// memo cache disabled so converged generations cannot speed toward the
+// cap at cache-hit speed.
+func longDesign(target string) server.DesignRequest {
+	req := tinyDesign(target, 100000)
+	req.StallGens = 100000 // don't let stall termination finish it early
+	req.NoFitnessCache = true
+	return req
+}
+
 // tinyDesign is a design request small enough to finish in well under a
 // second against the test proteome.
 func tinyDesign(target string, maxGens int) server.DesignRequest {
@@ -325,7 +336,7 @@ func TestCancelQueuedJob(t *testing.T) {
 		c.QueueWorkers = 1
 		c.QueueCapacity = 8
 	})
-	blocker := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), 100000))
+	blocker := submitJob(t, ts, longDesign(pr.Proteins[0].Name()))
 	waitJob(t, ts, blocker.ID, 60*time.Second, func(j server.JobJSON) bool {
 		return j.State == server.JobRunning
 	})
@@ -353,7 +364,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 		c.QueueCapacity = 1
 	})
 	// Occupy the single worker...
-	blocker := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), 100000))
+	blocker := submitJob(t, ts, longDesign(pr.Proteins[0].Name()))
 	waitJob(t, ts, blocker.ID, 60*time.Second, func(j server.JobJSON) bool {
 		return j.State == server.JobRunning
 	})

@@ -84,7 +84,7 @@ func TestProfileScoresAreBestPerPosition(t *testing.T) {
 	q := prots[2]
 	prof := ix.SequenceSimilarity(q, 2)
 	qidx := q.Indices()
-	for id, entries := range prof {
+	for id, entries := range prof.ToProfile() {
 		for _, e := range entries {
 			// The stored score must equal the best hit of that window
 			// against this protein.

@@ -220,25 +220,27 @@ func (p Profile) SimilarProteins() []int32 {
 	return out
 }
 
-// SequenceSimilarity computes the Profile of query against the proteome
-// using nThreads parallel workers over the query's windows (nThreads <= 0
-// means GOMAXPROCS). This mirrors the "build specified portion of
-// sequence_similarity ... in parallel" step of Algorithm 2.
-func (ix *Index) SequenceSimilarity(query seq.Sequence, nThreads int) Profile {
+// SequenceSimilarity computes the CSR profile of query against the
+// proteome using nThreads parallel workers over the query's windows
+// (nThreads <= 0 means GOMAXPROCS). This mirrors the "build specified
+// portion of sequence_similarity ... in parallel" step of Algorithm 2.
+// Workers accumulate thread-local map profiles; the merge emits the flat
+// CSR form directly, so no map survives onto the scoring path.
+func (ix *Index) SequenceSimilarity(query seq.Sequence, nThreads int) FlatProfile {
 	return ix.sequenceSimilarity(query, nThreads, (*Index).SimilarWindows)
 }
 
 // BruteSequenceSimilarity is SequenceSimilarity using the exhaustive
 // search; for tests and the seeding ablation.
-func (ix *Index) BruteSequenceSimilarity(query seq.Sequence, nThreads int) Profile {
+func (ix *Index) BruteSequenceSimilarity(query seq.Sequence, nThreads int) FlatProfile {
 	return ix.sequenceSimilarity(query, nThreads, (*Index).BruteSimilarWindows)
 }
 
-func (ix *Index) sequenceSimilarity(query seq.Sequence, nThreads int, search func(*Index, []int8, int) []Hit) Profile {
+func (ix *Index) sequenceSimilarity(query seq.Sequence, nThreads int, search func(*Index, []int8, int) []Hit) FlatProfile {
 	w := ix.cfg.Window
 	nw := query.NumWindows(w)
 	if nw <= 0 {
-		return Profile{}
+		return FlatProfile{Offsets: []int32{0}}
 	}
 	if nThreads <= 0 {
 		nThreads = runtime.GOMAXPROCS(0)
@@ -273,28 +275,5 @@ func (ix *Index) sequenceSimilarity(query seq.Sequence, nThreads int, search fun
 		}(t)
 	}
 	wg.Wait()
-	merged := make(Profile)
-	for _, prof := range partial {
-		for id, positions := range prof {
-			merged[id] = append(merged[id], positions...)
-		}
-	}
-	for id := range merged {
-		s := merged[id]
-		sort.Slice(s, func(i, j int) bool { return s[i].Pos < s[j].Pos })
-		// Deduplicate by position, keeping the best score (strided workers
-		// cannot duplicate, but keep the invariant explicit).
-		out := s[:0]
-		for i, v := range s {
-			if i > 0 && out[len(out)-1].Pos == v.Pos {
-				if v.Score > out[len(out)-1].Score {
-					out[len(out)-1].Score = v.Score
-				}
-				continue
-			}
-			out = append(out, v)
-		}
-		merged[id] = out
-	}
-	return merged
+	return mergeFlat(partial)
 }

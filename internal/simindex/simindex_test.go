@@ -2,6 +2,7 @@ package simindex
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/seq"
@@ -155,19 +156,8 @@ func TestSequenceSimilarityMatchesSerial(t *testing.T) {
 	q := seq.Mutate(rng, prots[0], 0.08, seq.NewSampler(seq.YeastComposition()))
 	p1 := ix.SequenceSimilarity(q, 1)
 	p8 := ix.SequenceSimilarity(q, 8)
-	if len(p1) != len(p8) {
-		t.Fatalf("parallel profile size %d != serial %d", len(p8), len(p1))
-	}
-	for id, want := range p1 {
-		got := p8[id]
-		if len(got) != len(want) {
-			t.Fatalf("protein %d: %d positions != %d", id, len(got), len(want))
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("protein %d entry %d: %+v != %+v", id, i, got[i], want[i])
-			}
-		}
+	if !reflect.DeepEqual(p1, p8) {
+		t.Fatalf("parallel profile differs from serial:\n%+v\nvs\n%+v", p8, p1)
 	}
 }
 
@@ -176,8 +166,8 @@ func TestSequenceSimilarityShortQuery(t *testing.T) {
 	prots := makeProteome(t, rng, 3, 100, 0.1)
 	ix, _ := Build(prots, Config{Window: 20})
 	short := seq.MustNew("short", "MKTAY") // shorter than window
-	if prof := ix.SequenceSimilarity(short, 4); len(prof) != 0 {
-		t.Errorf("short query produced %d profile entries", len(prof))
+	if prof := ix.SequenceSimilarity(short, 4); prof.NumProteins() != 0 || prof.NumEntries() != 0 {
+		t.Errorf("short query produced %d profile entries", prof.NumEntries())
 	}
 }
 
@@ -186,18 +176,19 @@ func TestProfilePositionsSorted(t *testing.T) {
 	prots := makeProteome(t, rng, 6, 200, 0.1)
 	ix, _ := Build(prots, Config{Window: 20, Threshold: 30})
 	prof := ix.SequenceSimilarity(prots[1], 3)
-	if len(prof) == 0 {
+	if prof.NumProteins() == 0 {
 		t.Fatal("empty profile on mutated-copy proteome")
 	}
-	for id, entries := range prof {
-		for i := 1; i < len(entries); i++ {
-			if entries[i-1].Pos >= entries[i].Pos {
-				t.Fatalf("protein %d positions not strictly increasing: %v", id, entries)
+	for r, id := range prof.IDs {
+		pos, score := prof.Row(r)
+		for i := 1; i < len(pos); i++ {
+			if pos[i-1] >= pos[i] {
+				t.Fatalf("protein %d positions not strictly increasing: %v", id, pos)
 			}
 		}
-		for _, e := range entries {
-			if e.Score < int32(ix.Config().Threshold) {
-				t.Fatalf("profile entry score %d below threshold", e.Score)
+		for _, sc := range score {
+			if sc < int32(ix.Config().Threshold) {
+				t.Fatalf("profile entry score %d below threshold", sc)
 			}
 		}
 	}
@@ -206,6 +197,9 @@ func TestProfilePositionsSorted(t *testing.T) {
 		if ids[i-1] >= ids[i] {
 			t.Fatal("SimilarProteins not sorted")
 		}
+	}
+	if int(prof.Offsets[0]) != 0 || int(prof.Offsets[len(prof.IDs)]) != prof.NumEntries() {
+		t.Fatalf("CSR offsets malformed: %v over %d entries", prof.Offsets, prof.NumEntries())
 	}
 }
 
@@ -220,8 +214,8 @@ func TestUnrelatedProteomeFewHits(t *testing.T) {
 	ix, _ := Build(prots, Config{Window: 20, Threshold: 35})
 	q := seq.Random(rng, "query", 150, seq.YeastComposition())
 	prof := ix.SequenceSimilarity(q, 2)
-	if len(prof) > 2 {
-		t.Errorf("random query similar to %d of 10 unrelated proteins", len(prof))
+	if prof.NumProteins() > 2 {
+		t.Errorf("random query similar to %d of 10 unrelated proteins", prof.NumProteins())
 	}
 }
 
