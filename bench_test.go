@@ -1,6 +1,6 @@
 // Benchmarks regenerating each of the paper's tables and figures (see
 // DESIGN.md §4 for the exhibit index) plus ablations of the design
-// choices DESIGN.md §6 calls out. Run:
+// choices DESIGN.md §7 calls out. Run:
 //
 //	go test -bench=. -benchmem
 //
@@ -234,7 +234,7 @@ func BenchmarkFig10SpotTest(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §6) ---------------------------------------
+// --- Ablations (DESIGN.md §7) ---------------------------------------
 
 // BenchmarkAblationMatrix compares PAM120 (the paper's choice) against
 // BLOSUM62 for engine scoring.

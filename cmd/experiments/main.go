@@ -6,6 +6,13 @@
 //	experiments -run all            # every exhibit, full scale
 //	experiments -run fig7 -quick    # one exhibit at smoke-test scale
 //	experiments -run table4 -data out/
+//
+// With -from-journal the binary instead replays a run journal written by
+// insips -journal or insipsd -journal-dir into Figure 7-style learning
+// curves, without touching the proteome or engine:
+//
+//	experiments -from-journal runs/anti-YAL054C        # run directory
+//	experiments -from-journal runs/x/journal.jsonl -data out/
 package main
 
 import (
@@ -23,11 +30,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run     = flag.String("run", "all", "exhibit to run: all, or one of "+strings.Join(experiments.Names(), ","))
-		quick   = flag.Bool("quick", false, "smoke-test scale (small proteome, short GA runs)")
-		dataDir = flag.String("data", "", "write .dat/.txt files for each exhibit into this directory")
+		run         = flag.String("run", "all", "exhibit to run: all, or one of "+strings.Join(experiments.Names(), ","))
+		quick       = flag.Bool("quick", false, "smoke-test scale (small proteome, short GA runs)")
+		dataDir     = flag.String("data", "", "write .dat/.txt files for each exhibit into this directory")
+		fromJournal = flag.String("from-journal", "", "replay a run journal (directory or journal.jsonl) into learning curves instead of running exhibits")
 	)
 	flag.Parse()
+
+	if *fromJournal != "" {
+		if err := experiments.ReplayJournal(*fromJournal, os.Stdout, *dataDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	env := experiments.NewEnv(*quick, os.Stdout, *dataDir)
 	start := time.Now()

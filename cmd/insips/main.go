@@ -26,6 +26,13 @@
 // tasks held by crashed or hung workers are re-issued automatically, and
 // workers reconnect with backoff if the master restarts (see
 // internal/netcluster).
+//
+// Long campaigns should run journaled: -journal DIR appends one JSONL
+// record per generation and checkpoints the population every
+// -checkpoint-every generations (and on SIGINT/SIGTERM). An interrupted
+// run continues bit-identically with the same flags plus -resume.
+// Structured tracing goes to stderr with -log-level debug|info|warn|error
+// (-log-json for machine-readable lines); see docs/OPERATIONS.md.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -46,10 +54,30 @@ import (
 	"repro/internal/ga"
 	"repro/internal/island"
 	"repro/internal/netcluster"
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
 	"repro/internal/seq"
 )
+
+// ensureParentDir creates the directory a file is about to be written
+// into, so -out (and journal) paths in fresh directories work instead of
+// failing with "no such file or directory".
+func ensureParentDir(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "" || dir == "." {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// saveFASTA writes the designed sequence, creating parent directories.
+func saveFASTA(path string, s seq.Sequence) error {
+	if err := ensureParentDir(path); err != nil {
+		return err
+	}
+	return seq.SaveFASTAFile(path, []seq.Sequence{s})
+}
 
 func main() {
 	log.SetFlags(0)
@@ -80,6 +108,12 @@ func main() {
 		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
 		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
 
+		journalDir = flag.String("journal", "", "run-journal directory: append per-generation JSONL records and periodic checkpoints here")
+		resume     = flag.Bool("resume", false, "resume from the checkpoint in the -journal directory instead of starting fresh")
+		ckptEvery  = flag.Int("checkpoint-every", 25, "generations between full population checkpoints (-journal mode; negative disables)")
+		logLevel   = flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = off)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
+
 		workerAddr  = flag.String("worker", "", "run as an evaluation worker serving the master at this address (no data files needed)")
 		listenAddr  = flag.String("listen", "", "evaluate candidates over TCP workers; listen for them on this address")
 		minWorkers  = flag.Int("min-workers", 1, "wait for this many workers before designing (-listen mode)")
@@ -90,6 +124,19 @@ func main() {
 		backoffMax  = flag.Duration("backoff-max", 10*time.Second, "worker reconnect backoff ceiling (-worker mode)")
 	)
 	flag.Parse()
+
+	var logger *obs.Logger
+	if *logLevel != "" {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *logJSON {
+			logger = obs.NewJSONLogger(os.Stderr, lv)
+		} else {
+			logger = obs.NewTextLogger(os.Stderr, lv)
+		}
+	}
 
 	if *workerAddr != "" {
 		if *listenAddr != "" {
@@ -106,6 +153,7 @@ func main() {
 			ReconnectMin: *backoffMin,
 			ReconnectMax: *backoffMax,
 			Logf:         log.Printf,
+			Logger:       logger,
 		})
 		log.Printf("worker: processed %d candidates", n)
 		return
@@ -159,6 +207,7 @@ func main() {
 		}
 	}
 
+	metrics := obs.NewRegistry()
 	opts := core.Options{
 		GA: ga.Params{
 			PopulationSize:  *pop,
@@ -171,8 +220,26 @@ func main() {
 			Seed:            *seed,
 		},
 		WarmStart:   *warm,
-		Cluster:     cluster.Config{Workers: *workers, ThreadsPerWorker: *threads},
+		Cluster:     cluster.Config{Workers: *workers, ThreadsPerWorker: *threads, Metrics: metrics},
 		Termination: ga.Termination{MinGenerations: *minGens, StallGenerations: *stall, MaxGenerations: *maxGens},
+		Logger:      logger,
+		Metrics:     metrics,
+	}
+	if *resume && *journalDir == "" {
+		log.Fatal("-resume requires -journal DIR (the directory holding the checkpoint)")
+	}
+	var journal *obs.RunJournal
+	if *journalDir != "" {
+		if *islands > 1 {
+			log.Fatal("-journal cannot be combined with -islands (the island model has no checkpoint path)")
+		}
+		var err error
+		journal, err = obs.OpenJournal(*journalDir, obs.JournalOptions{CheckpointEvery: *ckptEvery, Logger: logger})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		opts.Journal = journal
 	}
 	if *progress > 0 {
 		opts.OnGeneration = func(cp core.CurvePoint) {
@@ -197,6 +264,8 @@ func main() {
 				LeaseTimeout:      *lease,
 				MaxAttempts:       *maxAttempts,
 				HeartbeatInterval: *heartbeat,
+				Logger:            logger,
+				Metrics:           metrics,
 			})
 		defer master.Close()
 		log.Printf("master: listening on %s; waiting for %d worker(s) — start them with: insips -worker %s",
@@ -207,6 +276,15 @@ func main() {
 		log.Printf("master: %d worker(s) connected (lease %s, max %d attempts)",
 			master.Workers(), *lease, *maxAttempts)
 		opts.Evaluate = master.EvaluateAll
+		// Stamp per-generation worker/lease deltas into the journal stream.
+		var prev netcluster.Stats
+		opts.OnJournalRecord = func(rec *obs.GenerationRecord) {
+			st := master.Stats()
+			rec.Workers = st.WorkersConnected
+			rec.TasksReissued = st.TasksReissued - prev.TasksReissued
+			rec.LeasesExpired = st.LeasesExpired - prev.LeasesExpired
+			prev = st
+		}
 	}
 	if *islands > 1 {
 		// Multi-rack mode (paper Section 3.2): one master per rack,
@@ -228,7 +306,7 @@ func main() {
 		fmt.Printf("fitness            %.4f\n", ires.Best.Fitness)
 		designed := ires.Best.Seq.WithName("anti-" + *targetName)
 		if *outPath != "" {
-			if err := seq.SaveFASTAFile(*outPath, []seq.Sequence{designed}); err != nil {
+			if err := saveFASTA(*outPath, designed); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *outPath)
@@ -237,9 +315,33 @@ func main() {
 		}
 		return
 	}
-	res, err := core.Design(engine, targetID, ntIDs, opts)
+	designer, err := core.NewDesigner(core.Problem{
+		Engine: engine, TargetID: targetID, NonTargetIDs: ntIDs,
+	}, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Interrupting a journaled run (SIGINT/SIGTERM) checkpoints it so it
+	// can be picked up again with -resume.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	var res core.Result
+	if *resume {
+		cp, err := obs.LoadCheckpoint(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("resuming from %s: generation %d, best fitness %.4f",
+			obs.CheckpointPath(*journalDir), cp.Generation, cp.BestFitness)
+		res, err = designer.ResumeContext(runCtx, cp)
+		if err != nil {
+			fatalRun(journal, *journalDir, res, err)
+		}
+	} else {
+		res, err = designer.RunContext(runCtx)
+		if err != nil {
+			fatalRun(journal, *journalDir, res, err)
+		}
 	}
 	if master != nil {
 		st := master.Stats()
@@ -254,11 +356,33 @@ func main() {
 	fmt.Printf("avg off-target     %.4f\n", res.BestDetail.AvgNonTarget)
 	designed := res.Best.WithName("anti-" + *targetName)
 	if *outPath != "" {
-		if err := seq.SaveFASTAFile(*outPath, []seq.Sequence{designed}); err != nil {
+		if err := saveFASTA(*outPath, designed); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	} else {
 		fmt.Printf("sequence: %s\n", designed.Residues())
 	}
+	if logger.Enabled() {
+		for _, stage := range metrics.Stages() {
+			h := metrics.Histogram(stage)
+			logger.Info("stage timing", "stage", stage, "count", h.Count(),
+				"p50", h.Quantile(0.5).String(), "p99", h.Quantile(0.99).String(),
+				"total", h.Sum().String())
+		}
+	}
+}
+
+// fatalRun reports a failed or interrupted run and exits, closing the
+// journal first (log.Fatal skips deferred closes) and pointing the
+// operator at -resume when a checkpoint exists to pick up from.
+func fatalRun(journal *obs.RunJournal, dir string, res core.Result, err error) {
+	if journal != nil {
+		journal.Close()
+	}
+	if errors.Is(err, context.Canceled) && dir != "" {
+		log.Fatalf("interrupted after %d generations; continue with the same flags plus -resume (checkpoint in %s)",
+			res.Generations, dir)
+	}
+	log.Fatal(err)
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestSaveFASTACreatesMissingDirectories(t *testing.T) {
+	s, err := seq.New("anti-X", "ACDEFGHIKLMNPQRSTVWY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "results", "run1", "anti-X.fasta")
+	if err := saveFASTA(out, s); err != nil {
+		t.Fatalf("saveFASTA into a fresh directory tree: %v", err)
+	}
+	loaded, err := seq.LoadFASTAFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Residues() != s.Residues() {
+		t.Fatalf("round trip mismatch: %+v", loaded)
+	}
+}
+
+func TestEnsureParentDir(t *testing.T) {
+	// Bare file names and current-directory paths need no directory.
+	if err := ensureParentDir("out.fasta"); err != nil {
+		t.Fatalf("bare name: %v", err)
+	}
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "a", "b", "c.fasta")
+	if err := ensureParentDir(nested); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Dir(nested)); err != nil || !fi.IsDir() {
+		t.Fatalf("parent not created: %v", err)
+	}
+	// Idempotent on existing directories.
+	if err := ensureParentDir(nested); err != nil {
+		t.Fatalf("existing parent: %v", err)
+	}
+}

@@ -19,6 +19,14 @@
 // SIGINT/SIGTERM triggers a graceful drain: intake stops, queued and
 // running design jobs finish (up to -drain-timeout, then they are
 // cancelled — jobs stop within one generation), and the process exits.
+//
+// Observability: -log-level enables structured slog tracing (add
+// -log-json for JSON lines); -journal-dir gives every design job a run
+// journal with periodic checkpoints under <dir>/<job-id>/; per-stage
+// timing histograms appear on /metrics as insipsd_stage_seconds;
+// GET /v1/designs/{id}/progress tails a job's journal stream; and
+// -pprof-addr serves net/http/pprof on a separate listener (off by
+// default). See docs/OPERATIONS.md.
 package main
 
 import (
@@ -27,10 +35,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
 	"repro/internal/seq"
@@ -50,8 +61,26 @@ func main() {
 		queueCap     = flag.Int("queue-cap", 16, "max queued design jobs before 429")
 		scoreThreads = flag.Int("score-threads", 0, "per-request thread cap for /v1/score (0 = all cores)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+		journalDir   = flag.String("journal-dir", "", "give every design job a run journal + checkpoints under this directory")
+		ckptEvery    = flag.Int("checkpoint-every", 25, "generations between job checkpoints (-journal-dir mode; negative disables)")
+		logLevel     = flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = off)")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	var logger *obs.Logger
+	if *logLevel != "" {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *logJSON {
+			logger = obs.NewJSONLogger(os.Stderr, lv)
+		} else {
+			logger = obs.NewTextLogger(os.Stderr, lv)
+		}
+	}
 
 	proteins, err := seq.LoadFASTAFile(*proteomePath)
 	if err != nil {
@@ -69,6 +98,9 @@ func main() {
 		QueueWorkers:    *queueWorkers,
 		QueueCapacity:   *queueCap,
 		MaxScoreThreads: *scoreThreads,
+		Logger:          logger,
+		JournalDir:      *journalDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *dbPath != "" {
 		// Check staleness up front with a clear remedy, rather than
@@ -97,6 +129,23 @@ func main() {
 		source = "loaded from " + *dbPath
 	}
 	log.Printf("engine ready in %v (%s)", elapsed.Round(time.Millisecond), source)
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a separate listener: the profiling surface is
+		// opt-in and never exposed on the service address.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof serving on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

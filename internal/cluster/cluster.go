@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/seq"
 )
@@ -30,6 +31,9 @@ type Config struct {
 	// ThreadsPerWorker is the number of computational threads inside each
 	// worker (the paper's OpenMP threads; 64 on a BG/Q node). Default 4.
 	ThreadsPerWorker int
+	// Metrics, if non-nil, records each candidate's processing time in the
+	// obs.StageEvalTask histogram.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -205,6 +209,7 @@ func (p *Pool) evaluate(seqs []seq.Sequence, static bool) Report {
 					rep.Results[i] = res
 					rep.TaskTimes[i] = time.Since(t0)
 					rep.WorkerBusy[w] += rep.TaskTimes[i]
+					p.cfg.Metrics.Observe(obs.StageEvalTask, rep.TaskTimes[i])
 				}
 			}(w)
 		}
@@ -225,6 +230,7 @@ func (p *Pool) evaluate(seqs []seq.Sequence, static bool) Report {
 				rep.Results[i] = res
 				rep.TaskTimes[i] = time.Since(t0)
 				rep.WorkerBusy[w] += rep.TaskTimes[i]
+				p.cfg.Metrics.Observe(obs.StageEvalTask, rep.TaskTimes[i])
 			}
 		}(w)
 	}

@@ -19,10 +19,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/ga"
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/seq"
 )
@@ -122,6 +125,23 @@ type Options struct {
 	// fragments carry real interaction motifs, giving the GA an immediate
 	// foothold at small population budgets.
 	WarmStart bool
+	// Logger, if non-nil, receives structured span events for the run:
+	// run start/end, per-generation progress, and evaluation batches.
+	Logger *obs.Logger
+	// Metrics, if non-nil, collects per-stage timing histograms: the GA
+	// operators (via the engine's stage observer), the PIPE evaluation
+	// batch, whole generations, and checkpoint writes.
+	Metrics *obs.Registry
+	// Journal, if non-nil, receives one GenerationRecord per generation
+	// and periodic population checkpoints (per its CheckpointEvery),
+	// including a final checkpoint on context cancellation — the state
+	// ResumeContext restarts from. The Designer does not close it.
+	Journal *obs.RunJournal
+	// OnJournalRecord, if non-nil, observes (and may annotate — e.g.
+	// stamp netcluster worker/lease stats into) each generation's record
+	// before it is appended. It fires even when Journal is nil, so
+	// embedders can stream records without touching disk.
+	OnJournalRecord func(*obs.GenerationRecord)
 	// FitnessCache, if non-nil, memoizes candidate evaluations across
 	// generations (and across Designers sharing the cache — entries are
 	// keyed by problem fingerprint, so different problems never
@@ -158,6 +178,15 @@ type Designer struct {
 
 	details []Detail // details of the current generation, by index
 	evalErr error    // first Evaluate backend failure, surfaced by RunContext
+	used    bool     // a Designer drives at most one run
+
+	// Per-generation evaluation accounting for the run journal,
+	// refreshed by evaluateAll.
+	genEvaluated int
+	genCacheHits int
+	genEvalWall  time.Duration
+	genMinFit    float64
+	genPopHash   string
 }
 
 // NewDesigner validates the problem and wires the GA to the master/worker
@@ -171,20 +200,33 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 		return nil, err
 	}
 	d := &Designer{problem: problem, opts: opts, pool: pool}
+	// The fingerprint keys both the fitness memo cache and checkpoint
+	// compatibility checks, so compute it regardless of caching.
+	d.problemFP = ProblemFingerprint(problem.Engine, problem.TargetID, problem.NonTargetIDs)
 	if !opts.DisableFitnessCache {
 		d.cache = opts.FitnessCache
 		if d.cache == nil {
 			d.cache = NewFitnessCache(DefaultFitnessCacheSize)
 		}
-		d.problemFP = ProblemFingerprint(problem.Engine, problem.TargetID, problem.NonTargetIDs)
 	}
 	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
 	if err != nil {
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		gaEngine.SetStageObserver(opts.Metrics.Observe)
+	}
 	d.engine = gaEngine
 	return d, nil
 }
+
+// ProblemFP returns the fingerprint of the Designer's problem — the
+// value stamped into checkpoints and verified on resume.
+func (d *Designer) ProblemFP() uint64 { return d.problemFP }
+
+// Population returns the current (not yet evaluated) GA population.
+// The slice is owned by the engine; treat it as read-only.
+func (d *Designer) Population() []ga.Individual { return d.engine.Population() }
 
 // evaluateAll is the GA's fitness callback: it serves memoized
 // candidates from the fitness cache (byte-identical sequences the copy
@@ -195,6 +237,17 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	fits := make([]float64, len(seqs))
 	d.details = make([]Detail, len(seqs))
+	d.genPopHash = PopulationHash(seqs)
+	d.genEvaluated, d.genCacheHits, d.genEvalWall = 0, 0, 0
+	defer func() {
+		min := 0.0
+		for i, f := range fits {
+			if i == 0 || f < min {
+				min = f
+			}
+		}
+		d.genMinFit = min
+	}()
 	missIdx := make([]int, 0, len(seqs))
 	var missSeqs []seq.Sequence
 	if d.cache != nil {
@@ -220,9 +273,13 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 		}
 		missSeqs = seqs
 	}
+	d.genCacheHits = len(seqs) - len(missSeqs)
+	d.genEvaluated = len(missSeqs)
 	if len(missSeqs) == 0 {
 		return fits
 	}
+	endEval := d.opts.Logger.Span("evaluation batch", "candidates", len(missSeqs), "cache_hits", d.genCacheHits)
+	evalStart := time.Now()
 	var results []cluster.Result
 	if d.opts.Evaluate != nil {
 		var err error
@@ -234,11 +291,15 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 			if d.evalErr == nil {
 				d.evalErr = err
 			}
+			d.opts.Logger.Error("evaluation backend failed", "err", err)
 			return fits
 		}
 	} else {
 		results = d.pool.EvaluateAll(missSeqs)
 	}
+	d.genEvalWall = time.Since(evalStart)
+	d.opts.Metrics.Observe(obs.StageEval, d.genEvalWall)
+	endEval()
 	for k, r := range results {
 		i := missIdx[k]
 		if r.Err != nil {
@@ -290,6 +351,18 @@ func NaturalFragmentPopulation(engine *pipe.Engine, rng *rand.Rand, n, length in
 	return out
 }
 
+// PopulationHash is the FNV-64a hash (hex) of a population's residues in
+// slot order — the per-generation determinism fingerprint written to the
+// run journal. Two runs diverge exactly where their hashes first differ.
+func PopulationHash(seqs []seq.Sequence) string {
+	h := fnv.New64a()
+	for _, s := range seqs {
+		h.Write([]byte(s.Residues()))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Run executes the design loop to termination and returns the result.
 func (d *Designer) Run() (Result, error) {
 	return d.RunContext(context.Background())
@@ -299,18 +372,15 @@ func (d *Designer) Run() (Result, error) {
 // cancelled, whichever comes first. Cancellation is observed between
 // generations, so the run stops within one generation of cancel; the
 // partial Result (curve and best-so-far of the completed generations) is
-// returned alongside ctx's error. A long-running service uses this hook,
-// together with Options.OnGeneration, to report design-job progress and
-// abort jobs promptly.
+// returned alongside ctx's error, and — when a Journal is configured — a
+// final checkpoint is written so the run can be resumed. A long-running
+// service uses this hook, together with Options.OnGeneration, to report
+// design-job progress and abort jobs promptly.
 func (d *Designer) RunContext(ctx context.Context) (Result, error) {
-	if d.details != nil {
+	if d.used {
 		return Result{}, fmt.Errorf("core: Designer is single-use")
 	}
-	var (
-		curve      []CurvePoint
-		bestDetail Detail
-		bestSeq    seq.Sequence
-	)
+	d.used = true
 	if d.opts.WarmStart {
 		rng := rand.New(rand.NewSource(d.opts.GA.Seed))
 		pop := NaturalFragmentPopulation(d.problem.Engine, rng,
@@ -321,6 +391,83 @@ func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 	} else {
 		d.engine.InitPopulation()
 	}
+	return d.runLoop(ctx, nil, Detail{}, seq.Sequence{})
+}
+
+// Resume restarts a checkpointed run to termination.
+func (d *Designer) Resume(cp obs.Checkpoint) (Result, error) {
+	return d.ResumeContext(context.Background(), cp)
+}
+
+// ResumeContext restores the GA from a checkpoint (population,
+// generation counter, best-ever individual and learning-curve prefix)
+// and continues the design loop. Because every GA draw derives from
+// (Seed, generation, slot), the continued run — curve, best sequence,
+// final population — is bit-identical to one that was never
+// interrupted. The checkpoint must come from the same problem
+// (fingerprint), seed and population size the Designer was built with.
+func (d *Designer) ResumeContext(ctx context.Context, cp obs.Checkpoint) (Result, error) {
+	if d.used {
+		return Result{}, fmt.Errorf("core: Designer is single-use")
+	}
+	if err := cp.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cp.ProblemFP != d.problemFP {
+		return Result{}, fmt.Errorf("core: checkpoint is for problem %016x, designer solves %016x",
+			cp.ProblemFP, d.problemFP)
+	}
+	if cp.GASeed != d.opts.GA.Seed {
+		return Result{}, fmt.Errorf("core: checkpoint GA seed %d, designer uses %d", cp.GASeed, d.opts.GA.Seed)
+	}
+	if cp.PopulationSize != d.opts.GA.PopulationSize {
+		return Result{}, fmt.Errorf("core: checkpoint population %d, designer uses %d",
+			cp.PopulationSize, d.opts.GA.PopulationSize)
+	}
+	d.used = true
+	pop := make([]seq.Sequence, len(cp.Population))
+	for i, sr := range cp.Population {
+		s, err := seq.New(sr.Name, sr.Residues)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: checkpoint population slot %d: %w", i, err)
+		}
+		pop[i] = s
+	}
+	var bestSeq seq.Sequence
+	bestDetail := Detail{
+		Fitness:      cp.BestFitness,
+		Target:       cp.BestTarget,
+		MaxNonTarget: cp.BestMaxNT,
+		AvgNonTarget: cp.BestAvgNT,
+	}
+	if cp.BestEver.Residues != "" {
+		s, err := seq.New(cp.BestEver.Name, cp.BestEver.Residues)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: checkpoint best-ever sequence: %w", err)
+		}
+		bestSeq = s
+	}
+	if err := d.engine.Restore(cp.Generation, pop,
+		ga.Individual{Seq: bestSeq, Fitness: cp.BestFitness}, cp.BestEverGen); err != nil {
+		return Result{}, err
+	}
+	curve := make([]CurvePoint, 0, len(cp.Curve))
+	for _, cr := range cp.Curve {
+		curve = append(curve, CurvePoint{Generation: cr.Generation, Detail: Detail{
+			Fitness:      cr.Fitness,
+			Target:       cr.Target,
+			MaxNonTarget: cr.MaxNonTarget,
+			AvgNonTarget: cr.AvgNonTarget,
+		}})
+	}
+	d.opts.Logger.Info("run resumed", "generation", cp.Generation, "best_fitness", cp.BestFitness)
+	return d.runLoop(ctx, curve, bestDetail, bestSeq)
+}
+
+// runLoop drives the GA from its current state (fresh or restored) to
+// termination, recording the learning curve, appending journal records
+// and writing periodic checkpoints.
+func (d *Designer) runLoop(ctx context.Context, curve []CurvePoint, bestDetail Detail, bestSeq seq.Sequence) (Result, error) {
 	term := d.opts.Termination
 	if term.MaxGenerations <= 0 && term.StallGenerations <= 0 {
 		term.MaxGenerations = 100
@@ -333,14 +480,24 @@ func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 			Generations: len(curve),
 		}
 	}
-	for g := 0; ; g++ {
+	endRun := d.opts.Logger.Span("run",
+		"target", d.problem.TargetID, "non_targets", len(d.problem.NonTargetIDs),
+		"start_generation", d.engine.Generation())
+	for {
 		if err := ctx.Err(); err != nil {
+			// Make the interruption resumable: checkpoint the state the
+			// completed generations produced.
+			d.writeCheckpoint(curve, bestDetail)
+			endRun("generations", len(curve), "cancelled", true)
 			return result(), err
 		}
+		genStart := time.Now()
 		st := d.engine.Step()
 		if d.evalErr != nil {
 			// The evaluation backend failed (e.g. the distributed master
 			// closed); return what the completed generations produced.
+			d.writeCheckpoint(curve, bestDetail)
+			endRun("generations", len(curve), "eval_err", d.evalErr.Error())
 			return result(), d.evalErr
 		}
 		// Locate the generation's fittest individual's decomposition.
@@ -359,10 +516,98 @@ func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 		if d.opts.OnGeneration != nil {
 			d.opts.OnGeneration(cp)
 		}
-		if term.ShouldStop(g, st.BestEverGen) {
+		stop := term.ShouldStop(st.Generation, st.BestEverGen)
+		d.recordGeneration(st, cp, curve, bestDetail, time.Since(genStart), stop)
+		if stop {
+			endRun("generations", len(curve), "best_fitness", bestDetail.Fitness)
 			return result(), nil
 		}
 	}
+}
+
+// recordGeneration emits the generation's journal record, observes the
+// generation-scale histograms and writes a periodic checkpoint when due.
+func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoint, bestDetail Detail, genWall time.Duration, final bool) {
+	d.opts.Metrics.Observe(obs.StageGeneration, genWall)
+	if d.opts.Journal == nil && d.opts.OnJournalRecord == nil {
+		return
+	}
+	rec := obs.GenerationRecord{
+		Generation:      st.Generation,
+		TimeUnixMS:      time.Now().UnixMilli(),
+		BestFitness:     st.Best,
+		MeanFitness:     st.Mean,
+		MinFitness:      d.genMinFit,
+		Target:          cp.Target,
+		MaxNonTarget:    cp.MaxNonTarget,
+		AvgNonTarget:    cp.AvgNonTarget,
+		BestEverFitness: st.BestEver,
+		NewBest:         st.NewBestFound,
+		PopHash:         d.genPopHash,
+		Evaluated:       d.genEvaluated,
+		CacheHits:       d.genCacheHits,
+		EvalWallMS:      float64(d.genEvalWall) / float64(time.Millisecond),
+		GenWallMS:       float64(genWall) / float64(time.Millisecond),
+	}
+	// Checkpoint on cadence and always after the final generation, so a
+	// finished run's directory holds its terminal state.
+	if d.opts.Journal != nil && (final || d.opts.Journal.ShouldCheckpoint(d.engine.Generation())) {
+		rec.Checkpointed = d.writeCheckpoint(curve, bestDetail)
+	}
+	if d.opts.OnJournalRecord != nil {
+		d.opts.OnJournalRecord(&rec)
+	}
+	if d.opts.Journal != nil {
+		if err := d.opts.Journal.Append(rec); err != nil {
+			d.opts.Logger.Warn("journal append failed", "err", err)
+		}
+	}
+	d.opts.Logger.Debug("generation",
+		"gen", rec.Generation, "best", rec.BestFitness, "mean", rec.MeanFitness,
+		"best_ever", rec.BestEverFitness, "evaluated", rec.Evaluated,
+		"cache_hits", rec.CacheHits, "eval_ms", rec.EvalWallMS)
+}
+
+// writeCheckpoint snapshots the engine state into the journal's
+// checkpoint file. Returns whether a checkpoint was written.
+func (d *Designer) writeCheckpoint(curve []CurvePoint, bestDetail Detail) bool {
+	if d.opts.Journal == nil || len(curve) == 0 {
+		return false
+	}
+	start := time.Now()
+	bestEver, bestGen := d.engine.BestEver()
+	cp := obs.Checkpoint{
+		ProblemFP:      d.problemFP,
+		GASeed:         d.opts.GA.Seed,
+		PopulationSize: d.opts.GA.PopulationSize,
+		Generation:     d.engine.Generation(),
+		BestEverGen:    bestGen,
+		BestFitness:    bestDetail.Fitness,
+		BestTarget:     bestDetail.Target,
+		BestMaxNT:      bestDetail.MaxNonTarget,
+		BestAvgNT:      bestDetail.AvgNonTarget,
+	}
+	if bestEver.Seq.Len() > 0 {
+		cp.BestEver = obs.SequenceRecord{Name: bestEver.Seq.Name(), Residues: bestEver.Seq.Residues()}
+	}
+	for _, ind := range d.engine.Population() {
+		cp.Population = append(cp.Population, obs.SequenceRecord{Name: ind.Seq.Name(), Residues: ind.Seq.Residues()})
+	}
+	for _, p := range curve {
+		cp.Curve = append(cp.Curve, obs.CurveRecord{
+			Generation:   p.Generation,
+			Fitness:      p.Fitness,
+			Target:       p.Target,
+			MaxNonTarget: p.MaxNonTarget,
+			AvgNonTarget: p.AvgNonTarget,
+		})
+	}
+	if err := d.opts.Journal.WriteCheckpoint(cp); err != nil {
+		d.opts.Logger.Warn("checkpoint failed", "err", err)
+		return false
+	}
+	d.opts.Metrics.Observe(obs.StageCheckpoint, time.Since(start))
+	return true
 }
 
 // Design is the one-call convenience API: evolve an inhibitor for

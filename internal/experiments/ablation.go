@@ -10,7 +10,7 @@ import (
 	"repro/internal/submat"
 )
 
-// Ablations quantifies the design choices DESIGN.md §6 calls out, by
+// Ablations quantifies the design choices DESIGN.md §7 calls out, by
 // *accuracy* rather than speed (the speed side lives in bench_test.go):
 // for each engine variant, the separation between known interacting
 // pairs and true negatives — median positive score, 99th-percentile

@@ -17,6 +17,7 @@ package ga
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/seq"
 )
@@ -111,6 +112,12 @@ type Stats struct {
 	NewBestFound bool
 }
 
+// StageObserver receives the per-generation accumulated wall time of
+// one named GA stage ("ga_copy", "ga_mutate", "ga_crossover"); the
+// observability layer (internal/obs) feeds these into timing
+// histograms. Observers must be cheap: they run on the GA's hot path.
+type StageObserver func(stage string, elapsed time.Duration)
+
 // Engine runs the genetic algorithm. It is not safe for concurrent use.
 type Engine struct {
 	params        Params
@@ -121,6 +128,7 @@ type Engine struct {
 	generation    int
 	bestEver      Individual
 	bestGen       int
+	observe       StageObserver
 }
 
 // New validates params and creates an engine with an empty population.
@@ -203,6 +211,35 @@ func (e *Engine) SetPopulation(seqs []seq.Sequence) error {
 	return nil
 }
 
+// SetStageObserver installs (or, with nil, removes) the per-stage
+// timing callback.
+func (e *Engine) SetStageObserver(fn StageObserver) { e.observe = fn }
+
+// Restore rewinds the engine to a checkpointed state: generation
+// completed generations, the not-yet-evaluated population they
+// produced, and the best-ever individual with the generation it
+// appeared in. Because every construction draw derives from (Seed,
+// generation, slot) — the engine keeps no cross-generation RNG state —
+// subsequent Steps are bit-identical to a run that was never
+// interrupted.
+func (e *Engine) Restore(generation int, seqs []seq.Sequence, bestEver Individual, bestGen int) error {
+	if generation <= 0 {
+		return fmt.Errorf("ga: cannot restore to generation %d (nothing completed)", generation)
+	}
+	if bestGen < 0 || bestGen >= generation {
+		// bestGen refers to a completed generation (0-based < generation).
+		return fmt.Errorf("ga: best-ever generation %d outside completed range [0,%d)", bestGen, generation)
+	}
+	if err := e.SetPopulation(seqs); err != nil {
+		return err
+	}
+	e.generation = generation
+	e.bestEver = bestEver
+	e.bestGen = bestGen
+	e.lastEvaluated = nil
+	return nil
+}
+
 // Step evaluates the current generation and constructs the next one,
 // returning statistics for the evaluated generation.
 func (e *Engine) Step() Stats {
@@ -246,7 +283,9 @@ func (e *Engine) Step() Stats {
 // nextGeneration builds the next population using fitness-proportional
 // selection and the three operations. Each slot's randomness comes from
 // its own derived stream, so the result does not depend on evaluation
-// order or thread count.
+// order or thread count. When a stage observer is installed, the time
+// spent in each operator is accumulated across the generation and
+// reported once per stage.
 func (e *Engine) nextGeneration() []Individual {
 	cum := make([]float64, len(e.pop))
 	total := 0.0
@@ -256,17 +295,28 @@ func (e *Engine) nextGeneration() []Individual {
 	}
 	gen := e.generation + 1
 	next := make([]Individual, 0, e.params.PopulationSize)
+	var copyDur, mutateDur, crossDur time.Duration
 	for slot := 0; len(next) < e.params.PopulationSize; slot++ {
 		rng := e.slotRNG(gen, slot)
 		op := rng.Float64()
+		var begin time.Time
+		if e.observe != nil {
+			begin = time.Now()
+		}
 		switch {
 		case op < e.params.PCopy:
 			parent := e.selectParent(rng, cum, total)
 			next = append(next, Individual{Seq: parent.Seq})
+			if e.observe != nil {
+				copyDur += time.Since(begin)
+			}
 		case op < e.params.PCopy+e.params.PMutate:
 			parent := e.selectParent(rng, cum, total)
 			child := seq.Mutate(rng, parent.Seq, e.params.PMutateAA, e.sampler)
 			next = append(next, Individual{Seq: child})
+			if e.observe != nil {
+				mutateDur += time.Since(begin)
+			}
 		default:
 			pa := e.selectParent(rng, cum, total)
 			pb := e.selectParent(rng, cum, total)
@@ -275,7 +325,15 @@ func (e *Engine) nextGeneration() []Individual {
 			if len(next) < e.params.PopulationSize {
 				next = append(next, Individual{Seq: cb})
 			}
+			if e.observe != nil {
+				crossDur += time.Since(begin)
+			}
 		}
+	}
+	if e.observe != nil {
+		e.observe("ga_copy", copyDur)
+		e.observe("ga_mutate", mutateDur)
+		e.observe("ga_crossover", crossDur)
 	}
 	return next
 }

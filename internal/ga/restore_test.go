@@ -1,0 +1,109 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// TestRestoreContinuesIdentically is the engine-level half of the resume
+// guarantee: an engine restored from generation g's state must produce
+// exactly the generations an uninterrupted engine produces, because every
+// random draw derives from (Seed, generation, slot) and Restore rebuilds
+// all the cross-generation state there is.
+func TestRestoreContinuesIdentically(t *testing.T) {
+	p := smallParams()
+	p.Seed = 99
+	const total, interrupt = 8, 5
+
+	// Reference: one uninterrupted engine.
+	ref, err := New(p, countingEvaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.InitPopulation()
+	var refStats []Stats
+	for g := 0; g < total; g++ {
+		refStats = append(refStats, ref.Step())
+	}
+
+	// Interrupted engine: stop after `interrupt` generations and capture
+	// exactly what a checkpoint captures.
+	half, err := New(p, countingEvaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.InitPopulation()
+	for g := 0; g < interrupt; g++ {
+		half.Step()
+	}
+	pop := make([]seq.Sequence, 0, p.PopulationSize)
+	for _, ind := range half.Population() {
+		pop = append(pop, ind.Seq)
+	}
+	bestEver, bestGen := half.BestEver()
+
+	// Restored engine: a fresh engine fed only the captured state.
+	res, err := New(p, countingEvaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Restore(half.Generation(), pop, bestEver, bestGen); err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation() != interrupt {
+		t.Fatalf("restored generation %d, want %d", res.Generation(), interrupt)
+	}
+	for g := interrupt; g < total; g++ {
+		st := res.Step()
+		want := refStats[g]
+		if st.Generation != want.Generation || st.Best != want.Best ||
+			st.Mean != want.Mean || st.BestEver != want.BestEver ||
+			st.BestEverGen != want.BestEverGen {
+			t.Fatalf("generation %d diverged after restore:\nrestored %+v\nwant     %+v", g, st, want)
+		}
+	}
+	// The final populations must match residue for residue.
+	got, want := res.Population(), ref.Population()
+	for i := range want {
+		if got[i].Seq.Residues() != want[i].Seq.Residues() {
+			t.Fatalf("slot %d differs after restore", i)
+		}
+	}
+	gb, gg := res.BestEver()
+	wb, wg := ref.BestEver()
+	if gb.Fitness != wb.Fitness || gg != wg || gb.Seq.Residues() != wb.Seq.Residues() {
+		t.Fatalf("best-ever differs: got (%f, gen %d), want (%f, gen %d)", gb.Fitness, gg, wb.Fitness, wg)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	p := smallParams()
+	e, err := New(p, countingEvaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make([]seq.Sequence, p.PopulationSize)
+	for i := range pop {
+		s, err := seq.New("x", "ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop[i] = s
+	}
+	if err := e.Restore(0, pop, Individual{}, 0); err == nil {
+		t.Error("generation 0 accepted: nothing to resume")
+	}
+	if err := e.Restore(5, pop, Individual{}, 5); err == nil {
+		t.Error("bestGen == generation accepted")
+	}
+	if err := e.Restore(5, pop, Individual{}, -1); err == nil {
+		t.Error("negative bestGen accepted")
+	}
+	if err := e.Restore(5, pop[:3], Individual{}, 2); err == nil {
+		t.Error("short population accepted")
+	}
+	if err := e.Restore(5, pop, Individual{}, 2); err != nil {
+		t.Errorf("valid restore rejected: %v", err)
+	}
+}

@@ -5,12 +5,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/seq"
 )
 
@@ -52,6 +52,13 @@ type Options struct {
 	// engine rebuild that follows it (both scale with proteome size).
 	// Default 2m.
 	SetupTimeout time.Duration
+	// Logger, if non-nil, receives structured events for worker
+	// connections, lease expiries, task quarantines and evaluation
+	// rounds. Nil discards them.
+	Logger *obs.Logger
+	// Metrics, if non-nil, records the obs.StageDispatch (queue wait) and
+	// obs.StageCollect (lease-to-result) histograms per task.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -90,8 +97,10 @@ func (o Options) heartbeatTimeout() time.Duration {
 
 // task is one candidate evaluation, tracked across re-issues.
 type task struct {
-	index    int
-	attempts int // dispatches so far
+	index      int
+	attempts   int       // dispatches so far
+	enqueued   time.Time // when the task (re)entered the queue
+	dispatched time.Time // when the current lease was granted
 }
 
 // round is the state of one EvaluateAllContext call. A task object
@@ -224,6 +233,8 @@ func (m *Master) expireLeases(now time.Time) {
 			t, r := w.inflight, w.round
 			w.inflight, w.round = nil, nil
 			m.stats.leasesExpired.Add(1)
+			m.opts.Logger.Warn("lease expired",
+				"task", t.index, "attempt", t.attempts, "worker", w.conn.RemoteAddr().String())
 			m.requeueLocked(r, t)
 		}
 	}
@@ -245,11 +256,13 @@ func (m *Master) requeueLocked(r *round, t *task) {
 			Err:      fmt.Errorf("%w (task %d, %d attempts)", ErrTaskAbandoned, t.index, t.attempts),
 		}
 		m.stats.tasksQuarantined.Add(1)
+		m.opts.Logger.Warn("task quarantined", "task", t.index, "attempts", t.attempts)
 		if r.remaining == 0 {
 			close(r.finished)
 		}
 		return
 	}
+	t.enqueued = time.Now() // re-issues restart the dispatch-wait clock
 	r.queue = append(r.queue, t)
 	m.stats.tasksReissued.Add(1)
 	m.wakeLocked()
@@ -289,8 +302,12 @@ func (m *Master) deliver(w *workerConn, req requestMsg) {
 	if r.remaining == 0 {
 		close(r.finished)
 	}
+	dispatched := t.dispatched
 	m.mu.Unlock()
 	m.stats.tasksCompleted.Add(1)
+	if !dispatched.IsZero() {
+		m.opts.Metrics.Observe(obs.StageCollect, time.Since(dispatched))
+	}
 }
 
 // release unregisters a worker and re-queues its inflight task, if any.
@@ -304,6 +321,7 @@ func (m *Master) release(w *workerConn) {
 	}
 	m.mu.Unlock()
 	m.stats.workerDisconnects.Add(1)
+	m.opts.Logger.Debug("worker disconnected", "worker", w.conn.RemoteAddr().String())
 }
 
 // Dispatch outcomes of nextTask.
@@ -328,11 +346,17 @@ func (m *Master) nextTask(w *workerConn) (taskMsg, int) {
 			t := r.queue[0]
 			r.queue = r.queue[1:]
 			t.attempts++
+			now := time.Now()
+			t.dispatched = now
 			w.inflight, w.round = t, r
-			w.lease = time.Now().Add(m.opts.LeaseTimeout)
+			w.lease = now.Add(m.opts.LeaseTimeout)
 			s := r.seqs[t.index]
+			enqueued := t.enqueued
 			m.mu.Unlock()
 			m.stats.tasksDispatched.Add(1)
+			if !enqueued.IsZero() {
+				m.opts.Metrics.Observe(obs.StageDispatch, now.Sub(enqueued))
+			}
 			return taskMsg{Index: t.index, Attempt: t.attempts, Name: s.Name(), Residues: s.Residues()}, actTask
 		}
 		wake := m.wake
@@ -366,13 +390,15 @@ func (m *Master) handle(conn net.Conn) {
 	m.conns[w] = struct{}{}
 	m.mu.Unlock()
 	m.stats.workerConnects.Add(1)
+	m.opts.Logger.Debug("worker connected", "worker", conn.RemoteAddr().String())
 	defer m.release(w)
 
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	_ = conn.SetWriteDeadline(time.Now().Add(m.opts.SetupTimeout))
 	if err := enc.Encode(m.setup); err != nil {
-		log.Printf("netcluster: master: broadcast to %s failed: %v", conn.RemoteAddr(), err)
+		m.opts.Logger.Warn("setup broadcast failed",
+			"worker", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	// The first request arrives only after the worker rebuilt its engine
@@ -448,8 +474,9 @@ func (m *Master) EvaluateAllContext(ctx context.Context, seqs []seq.Sequence) ([
 		results:   make([]cluster.Result, len(seqs)),
 		finished:  make(chan struct{}),
 	}
+	now := time.Now()
 	for i := range seqs {
-		r.queue[i] = &task{index: i}
+		r.queue[i] = &task{index: i, enqueued: now}
 		r.results[i].Index = i
 	}
 	m.mu.Lock()
@@ -465,6 +492,7 @@ func (m *Master) EvaluateAllContext(ctx context.Context, seqs []seq.Sequence) ([
 	m.wakeLocked()
 	m.mu.Unlock()
 	m.stats.roundsStarted.Add(1)
+	endRound := m.opts.Logger.Span("round", "tasks", len(seqs), "workers", m.Workers())
 
 	finish := func(cancelled bool) {
 		m.mu.Lock()
@@ -481,13 +509,16 @@ func (m *Master) EvaluateAllContext(ctx context.Context, seqs []seq.Sequence) ([
 	case <-r.finished:
 		finish(false)
 		m.stats.roundsCompleted.Add(1)
+		endRound("outcome", "completed")
 		return r.results, nil
 	case <-ctx.Done():
 		finish(true)
 		m.stats.roundsCancelled.Add(1)
+		endRound("outcome", "cancelled")
 		return nil, ctx.Err()
 	case <-m.closedCh:
 		finish(true)
+		endRound("outcome", "master closed")
 		return nil, ErrMasterClosed
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/seq"
 )
@@ -40,6 +41,10 @@ type WorkerOptions struct {
 	Dial func(addr string) (net.Conn, error)
 	// Logf, if non-nil, receives reconnect/backoff diagnostics.
 	Logf func(format string, args ...any)
+	// Logger, if non-nil, receives the same diagnostics as structured
+	// records. When Logf is nil, Logf is derived from Logger, so either
+	// sink (or both) may be configured.
+	Logger *obs.Logger
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -64,7 +69,13 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 		}
 	}
 	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+		if logger := o.Logger; logger.Enabled() {
+			o.Logf = func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			}
+		} else {
+			o.Logf = func(string, ...any) {}
+		}
 	}
 	return o
 }

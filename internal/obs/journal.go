@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal file layout inside a run directory:
+//
+//	<dir>/journal.jsonl    one GenerationRecord per line, append-only
+//	<dir>/checkpoint.gob   latest Checkpoint, atomically replaced
+//
+// The JSONL journal is the cheap, always-on stream — tail it with any
+// text tool, serve it over HTTP, or replay it into learning curves
+// (cmd/experiments -from-journal). The gob checkpoint is the restart
+// point: a full population snapshot written every CheckpointEvery
+// generations and on cancellation.
+const (
+	journalFile    = "journal.jsonl"
+	checkpointFile = "checkpoint.gob"
+)
+
+// JournalPath returns the JSONL record path inside a run directory.
+func JournalPath(dir string) string { return filepath.Join(dir, journalFile) }
+
+// CheckpointPath returns the checkpoint path inside a run directory.
+func CheckpointPath(dir string) string { return filepath.Join(dir, checkpointFile) }
+
+// GenerationRecord is one journal line: everything an operator needs to
+// judge a generation without re-running it. Zero-valued distributed
+// fields are omitted for in-process runs.
+type GenerationRecord struct {
+	Generation int   `json:"gen"`
+	TimeUnixMS int64 `json:"t_ms"`
+
+	// Fitness statistics of the evaluated population.
+	BestFitness float64 `json:"best"`
+	MeanFitness float64 `json:"mean"`
+	MinFitness  float64 `json:"min"`
+
+	// Score decomposition of the generation's fittest individual — the
+	// three series of the paper's Figure 7.
+	Target       float64 `json:"target"`
+	MaxNonTarget float64 `json:"max_nt"`
+	AvgNonTarget float64 `json:"avg_nt"`
+
+	BestEverFitness float64 `json:"best_ever"`
+	NewBest         bool    `json:"new_best,omitempty"`
+
+	// PopHash is the FNV-64a hash (hex) of the evaluated population's
+	// residues in slot order: two runs diverge exactly where their pop
+	// hashes first differ, the determinism debugging tool.
+	PopHash string `json:"pop_hash"`
+
+	// Cache and evaluation accounting for this generation.
+	Evaluated  int     `json:"evaluated"`  // candidates actually scored (memo misses)
+	CacheHits  int     `json:"cache_hits"` // candidates served from the fitness memo cache
+	EvalWallMS float64 `json:"eval_ms"`    // wall time of the evaluation batch
+	GenWallMS  float64 `json:"gen_ms"`     // wall time of the whole generation
+
+	// Distributed-evaluation stats, stamped by the run owner when a
+	// netcluster master is the backend (deltas since the previous record).
+	Workers       int   `json:"workers,omitempty"`
+	TasksReissued int64 `json:"tasks_reissued,omitempty"`
+	LeasesExpired int64 `json:"leases_expired,omitempty"`
+
+	// Checkpointed marks records after which a checkpoint was written.
+	Checkpointed bool `json:"checkpointed,omitempty"`
+}
+
+// SequenceRecord is a journal-portable protein sequence.
+type SequenceRecord struct {
+	Name     string
+	Residues string
+}
+
+// CurveRecord is one restored learning-curve point inside a checkpoint.
+type CurveRecord struct {
+	Generation   int
+	Fitness      float64
+	Target       float64
+	MaxNonTarget float64
+	AvgNonTarget float64
+}
+
+// checkpointVersion guards the gob schema; bump on incompatible change.
+const checkpointVersion = 1
+
+// Checkpoint is a full GA restart point. The construction of every
+// generation is deterministic in (Seed, generation, slot) — package ga
+// derives each slot's random stream, holding no cross-generation RNG
+// state — so the unevaluated population, the generation counter and the
+// best-ever individual are sufficient to resume bit-identically.
+type Checkpoint struct {
+	Version int
+	// ProblemFP fingerprints the engine + target set the run was started
+	// with; ResumeContext refuses a checkpoint from a different problem.
+	ProblemFP uint64
+	// GASeed and PopulationSize double-check the GA parameters.
+	GASeed         int64
+	PopulationSize int
+
+	// Generation is the number of completed (evaluated) generations;
+	// Population is the not-yet-evaluated population those generations
+	// produced, in slot order.
+	Generation int
+	Population []SequenceRecord
+
+	// Best-ever tracking, mirrored from the GA engine and the Designer.
+	BestEver    SequenceRecord
+	BestEverGen int
+	BestFitness float64
+	BestTarget  float64
+	BestMaxNT   float64
+	BestAvgNT   float64
+
+	// Curve is the learning-curve prefix up to Generation.
+	Curve []CurveRecord
+}
+
+// Validate rejects structurally unusable checkpoints before a resume
+// tries to run with them.
+func (cp Checkpoint) Validate() error {
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("obs: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if cp.Generation <= 0 {
+		return fmt.Errorf("obs: checkpoint at generation %d has nothing to resume", cp.Generation)
+	}
+	if len(cp.Population) == 0 || len(cp.Population) != cp.PopulationSize {
+		return fmt.Errorf("obs: checkpoint population %d does not match population size %d",
+			len(cp.Population), cp.PopulationSize)
+	}
+	if len(cp.Curve) != cp.Generation {
+		return fmt.Errorf("obs: checkpoint curve has %d points for %d generations",
+			len(cp.Curve), cp.Generation)
+	}
+	return nil
+}
+
+// JournalOptions tunes a RunJournal.
+type JournalOptions struct {
+	// CheckpointEvery is the generation cadence of full population
+	// checkpoints. Default 25; negative disables checkpoints (records
+	// only).
+	CheckpointEvery int
+	// Logger receives journal lifecycle events (open, checkpoint, close).
+	Logger *Logger
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 25
+	}
+	return o
+}
+
+// RunJournal owns one run directory: it appends generation records to
+// journal.jsonl (each line flushed to the OS immediately, so a crashed
+// process loses at most the in-flight line) and replaces checkpoint.gob
+// atomically. Safe for concurrent use.
+type RunJournal struct {
+	dir  string
+	opts JournalOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	records int
+	closed  bool
+}
+
+// OpenJournal creates (MkdirAll) the run directory and opens the record
+// stream for appending — an interrupted run's journal is continued, not
+// truncated, so one directory accumulates the full pre- and post-resume
+// history.
+func OpenJournal(dir string, opts JournalOptions) (*RunJournal, error) {
+	opts = opts.withDefaults()
+	if dir == "" {
+		return nil, errors.New("obs: empty journal directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating journal directory: %w", err)
+	}
+	f, err := os.OpenFile(JournalPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	opts.Logger.Debug("journal open", "dir", dir, "checkpoint_every", opts.CheckpointEvery)
+	return &RunJournal{dir: dir, opts: opts, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Dir returns the run directory.
+func (j *RunJournal) Dir() string { return j.dir }
+
+// Records returns the number of records appended by this process.
+func (j *RunJournal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Append writes one record as a JSON line and flushes it to the OS.
+func (j *RunJournal) Append(rec GenerationRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: encoding record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("obs: journal closed")
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("obs: appending record: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing record: %w", err)
+	}
+	j.records++
+	return nil
+}
+
+// ShouldCheckpoint reports whether a checkpoint is due after gen
+// completed generations.
+func (j *RunJournal) ShouldCheckpoint(gen int) bool {
+	if j == nil || j.opts.CheckpointEvery <= 0 {
+		return false
+	}
+	return gen > 0 && gen%j.opts.CheckpointEvery == 0
+}
+
+// WriteCheckpoint durably replaces the run's checkpoint: gob-encoded to
+// a temp file, fsynced, then renamed over checkpoint.gob so a crash
+// mid-write never corrupts the previous restart point.
+func (j *RunJournal) WriteCheckpoint(cp Checkpoint) error {
+	cp.Version = checkpointVersion
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(j.dir, checkpointFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(cp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: encoding checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), CheckpointPath(j.dir)); err != nil {
+		return fmt.Errorf("obs: installing checkpoint: %w", err)
+	}
+	j.opts.Logger.Debug("checkpoint written", "dir", j.dir, "generation", cp.Generation)
+	return nil
+}
+
+// Close flushes and closes the record stream. Idempotent.
+func (j *RunJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.opts.Logger.Debug("journal closed", "dir", j.dir, "records", j.records)
+	return err
+}
+
+// ErrNoCheckpoint is returned by LoadCheckpoint when the run directory
+// has no checkpoint to resume from.
+var ErrNoCheckpoint = errors.New("obs: no checkpoint in journal directory")
+
+// LoadCheckpoint reads and validates the run directory's checkpoint.
+func LoadCheckpoint(dir string) (Checkpoint, error) {
+	f, err := os.Open(CheckpointPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Checkpoint{}, fmt.Errorf("%w: %s", ErrNoCheckpoint, dir)
+	}
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("obs: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	var cp Checkpoint
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("obs: decoding checkpoint %s: %w", CheckpointPath(dir), err)
+	}
+	if err := cp.Validate(); err != nil {
+		return Checkpoint{}, err
+	}
+	return cp, nil
+}
+
+// ReadJournal parses every record of a journal.jsonl file. Unparseable
+// lines (a torn final write from a crash) terminate the read without
+// error: everything before them is returned.
+func ReadJournal(path string) ([]GenerationRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	defer f.Close()
+	var out []GenerationRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec GenerationRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail: keep what parsed
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	return out, nil
+}
+
+// TailJournal returns the last n records of a journal file (all of them
+// when n <= 0 or the journal is shorter).
+func TailJournal(path string, n int) ([]GenerationRecord, error) {
+	recs, err := ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return recs, nil
+}

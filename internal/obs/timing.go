@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets log-spaced duration buckets cover 1µs .. ~8.6s; slower
+// observations land in the implicit +Inf bucket. Bucket i holds
+// durations <= 1µs * 2^i, matching Prometheus's cumulative "le"
+// convention when rendered.
+const numBuckets = 24
+
+// bucketBound returns the upper bound of bucket i in seconds.
+func bucketBound(i int) float64 {
+	return 1e-6 * math.Pow(2, float64(i))
+}
+
+// Histogram is a fixed-bucket duration histogram. Observations are
+// lock-free atomic increments, cheap enough for per-candidate timing in
+// the evaluation hot path.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	ns := int64(d)
+	// Smallest bucket whose bound (1µs * 2^i) is >= d.
+	for i := 0; i < numBuckets; i++ {
+		if ns <= int64(1000)<<uint(i) {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	// Beyond the last bound: only the implicit +Inf bucket counts it.
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1)
+// from the bucket boundaries — coarse, but enough for eyeballing p50
+// and p99 in tests and tooling.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(bucketBound(i) * float64(time.Second))
+		}
+	}
+	return h.Sum() // +Inf bucket: no finite bound to report
+}
+
+// Registry is a set of named stage histograms shared across pipeline
+// layers. The zero value is not usable; create with NewRegistry. A nil
+// *Registry discards observations, so optional instrumentation needs no
+// guards at call sites.
+type Registry struct {
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*Histogram)}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(stage string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[stage]
+	if !ok {
+		h = &Histogram{}
+		r.hists[stage] = h
+	}
+	return h
+}
+
+// Observe records one duration for a stage. Nil-safe.
+func (r *Registry) Observe(stage string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Histogram(stage).Observe(d)
+}
+
+// Stages returns the registered stage names, sorted.
+func (r *Registry) Stages() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders every histogram in Prometheus text exposition
+// format as one metric family, prefix_seconds{stage="..."}, with
+// cumulative buckets, sum and count — the shape dashboards expect for
+// per-stage latency panels. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) {
+	if r == nil {
+		return
+	}
+	names := r.Stages()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s_seconds Per-stage pipeline timing.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_seconds histogram\n", prefix)
+	for _, name := range names {
+		r.mu.Lock()
+		h := r.hists[name]
+		r.mu.Unlock()
+		var cum int64
+		for i := 0; i < numBuckets; i++ {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_seconds_bucket{stage=%q,le=%q} %d\n",
+				prefix, name, formatBound(bucketBound(i)), cum)
+		}
+		fmt.Fprintf(w, "%s_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", prefix, name, h.count.Load())
+		fmt.Fprintf(w, "%s_seconds_sum{stage=%q} %.6f\n", prefix, name, h.Sum().Seconds())
+		fmt.Fprintf(w, "%s_seconds_count{stage=%q} %d\n", prefix, name, h.count.Load())
+	}
+}
+
+// formatBound renders a bucket bound without exponent notation churn.
+func formatBound(s float64) string {
+	return fmt.Sprintf("%g", s)
+}

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/ga"
+	"repro/internal/obs"
 	"repro/internal/seq"
 )
 
@@ -109,6 +111,17 @@ type DetailJSON struct {
 	AvgNonTarget float64 `json:"avg_non_target"`
 }
 
+// ProgressJSON is the GET /v1/designs/{id}/progress body: the tail of
+// the job's run-journal stream. Generations counts every record the job
+// has produced; Records holds the most recent ones (bounded by the
+// server's in-memory ring and the request's ?n= parameter).
+type ProgressJSON struct {
+	ID          string                 `json:"id"`
+	State       JobState               `json:"state"`
+	Generations int                    `json:"generations"`
+	Records     []obs.GenerationRecord `json:"records"`
+}
+
 // HealthJSON is the /healthz body.
 type HealthJSON struct {
 	Status        string  `json:"status"` // "ok" or "draining"
@@ -194,6 +207,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g := s.jobs.gauges()
 	g.CacheSize = s.engines.size()
 	s.metrics.render(w, g)
+	s.cfg.Stages.WritePrometheus(w, "insipsd_stage")
 	for _, extra := range s.cfg.ExtraMetrics {
 		extra(w)
 	}
@@ -392,6 +406,36 @@ func (s *Server) handleDesignGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobJSON(j.snapshot(), true))
+}
+
+func (s *Server) handleDesignProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad n %q: want a positive integer", raw)
+			return
+		}
+		n = v
+	}
+	recs, total := j.progressTail(n)
+	if recs == nil {
+		recs = []obs.GenerationRecord{}
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, ProgressJSON{
+		ID:          j.id,
+		State:       state,
+		Generations: total,
+		Records:     recs,
+	})
 }
 
 func (s *Server) handleDesignCancel(w http.ResponseWriter, r *http.Request) {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ga"
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/seq"
 )
@@ -69,6 +71,33 @@ type job struct {
 	result     *core.Result
 	bestSoFar  seq.Sequence
 	errMessage string
+	// progress is a bounded ring of the most recent generation records
+	// (the journal stream, kept in memory for the progress endpoint).
+	progress      []obs.GenerationRecord
+	progressTotal int // records ever appended, = last generation + 1
+}
+
+// appendProgress adds one generation record to the bounded ring.
+func (j *job) appendProgress(rec obs.GenerationRecord, limit int) {
+	j.mu.Lock()
+	j.progress = append(j.progress, rec)
+	if len(j.progress) > limit {
+		j.progress = j.progress[len(j.progress)-limit:]
+	}
+	j.progressTotal++
+	j.mu.Unlock()
+}
+
+// progressTail returns up to n of the job's most recent generation
+// records plus the total count appended so far.
+func (j *job) progressTail(n int) ([]obs.GenerationRecord, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := j.progress
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return append([]obs.GenerationRecord(nil), recs...), j.progressTotal
 }
 
 func (j *job) snapshot() jobSnapshot {
@@ -104,10 +133,20 @@ type jobSnapshot struct {
 // All design jobs share one fitness memo cache; entries are keyed by
 // problem fingerprint, so jobs over different engines or target sets
 // never exchange wrong hits.
+// jobObsConfig carries the observability wiring every job inherits.
+type jobObsConfig struct {
+	logger          *obs.Logger
+	stages          *obs.Registry
+	journalDir      string
+	checkpointEvery int
+	progressBuffer  int
+}
+
 type jobStore struct {
 	engines  *engineCache
 	metrics  *metrics
 	fitcache *core.FitnessCache
+	obs      jobObsConfig
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -121,11 +160,15 @@ type jobStore struct {
 	closed   bool
 }
 
-func newJobStore(engines *engineCache, m *metrics, workers, capacity int) *jobStore {
+func newJobStore(engines *engineCache, m *metrics, workers, capacity int, oc jobObsConfig) *jobStore {
+	if oc.progressBuffer <= 0 {
+		oc.progressBuffer = 256
+	}
 	s := &jobStore{
 		engines:  engines,
 		metrics:  m,
 		fitcache: core.NewFitnessCache(0),
+		obs:      oc,
 		queue:    make(chan *job, capacity),
 		jobs:     make(map[string]*job),
 	}
@@ -266,6 +309,7 @@ func (s *jobStore) run(j *job) {
 		s.mu.Unlock()
 	}()
 
+	jobLogger := s.obs.logger.With("job", j.id, "target", j.spec.TargetName)
 	finish := func(state JobState, res *core.Result, err error) {
 		j.mu.Lock()
 		j.state = state
@@ -275,6 +319,11 @@ func (s *jobStore) run(j *job) {
 			j.errMessage = err.Error()
 		}
 		j.mu.Unlock()
+		if err != nil {
+			jobLogger.Warn("job finished", "state", state, "err", err)
+		} else {
+			jobLogger.Info("job finished", "state", state)
+		}
 	}
 
 	engine, err := s.engines.get(j.spec.Pipe)
@@ -282,18 +331,37 @@ func (s *jobStore) run(j *job) {
 		finish(JobFailed, nil, err)
 		return
 	}
+	jobCluster := j.spec.Cluster
+	jobCluster.Metrics = s.obs.stages
 	opts := core.Options{
 		GA:                  j.spec.GA,
-		Cluster:             j.spec.Cluster,
+		Cluster:             jobCluster,
 		Termination:         j.spec.Termination,
 		WarmStart:           j.spec.WarmStart,
 		FitnessCache:        s.fitcache,
 		DisableFitnessCache: j.spec.DisableFitnessCache,
+		Logger:              jobLogger,
+		Metrics:             s.obs.stages,
+		OnJournalRecord: func(rec *obs.GenerationRecord) {
+			j.appendProgress(*rec, s.obs.progressBuffer)
+		},
 		OnGeneration: func(cp core.CurvePoint) {
 			j.mu.Lock()
 			j.curve = append(j.curve, cp)
 			j.mu.Unlock()
 		},
+	}
+	if s.obs.journalDir != "" {
+		journal, err := obs.OpenJournal(filepath.Join(s.obs.journalDir, j.id), obs.JournalOptions{
+			CheckpointEvery: s.obs.checkpointEvery,
+			Logger:          jobLogger,
+		})
+		if err != nil {
+			finish(JobFailed, nil, fmt.Errorf("server: opening run journal: %w", err))
+			return
+		}
+		defer journal.Close()
+		opts.Journal = journal
 	}
 	designer, err := core.NewDesigner(core.Problem{
 		Engine:       engine,
@@ -304,6 +372,8 @@ func (s *jobStore) run(j *job) {
 		finish(JobFailed, nil, err)
 		return
 	}
+	jobLogger.Info("job started",
+		"population", j.spec.GA.PopulationSize, "non_targets", len(j.spec.NonTargetIDs))
 	res, err := designer.RunContext(j.ctx)
 	switch {
 	case err == nil:

@@ -1,0 +1,154 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func getProgress(t testing.TB, url string) (server.ProgressJSON, *http.Response) {
+	t.Helper()
+	var p server.ProgressJSON
+	resp := getJSON(t, url, &p)
+	return p, resp
+}
+
+// TestDesignProgressEndpoint: the progress endpoint streams the job's
+// journal records from the in-memory ring — no journal directory needed.
+func TestDesignProgressEndpoint(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, nil)
+	const gens = 8
+	job := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), gens))
+	waitJob(t, ts, job.ID, 30*time.Second, terminal)
+
+	p, resp := getProgress(t, ts.URL+"/v1/designs/"+job.ID+"/progress")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress: status %d", resp.StatusCode)
+	}
+	if p.ID != job.ID || p.State != server.JobDone {
+		t.Fatalf("progress header wrong: %+v", p)
+	}
+	if p.Generations != gens || len(p.Records) != gens {
+		t.Fatalf("want %d generations and records, got %d and %d", gens, p.Generations, len(p.Records))
+	}
+	for g, rec := range p.Records {
+		if rec.Generation != g {
+			t.Errorf("record %d has generation %d", g, rec.Generation)
+		}
+		if rec.Evaluated+rec.CacheHits == 0 {
+			t.Errorf("record %d has no evaluation accounting", g)
+		}
+	}
+
+	// ?n= limits to the most recent records.
+	p, _ = getProgress(t, ts.URL+"/v1/designs/"+job.ID+"/progress?n=3")
+	if len(p.Records) != 3 || p.Records[0].Generation != gens-3 {
+		t.Fatalf("?n=3 returned %d records starting at %d", len(p.Records), p.Records[0].Generation)
+	}
+	if p.Generations != gens {
+		t.Errorf("?n=3 must not change the total: %d", p.Generations)
+	}
+
+	// Bad parameters and unknown jobs fail loudly.
+	if _, resp := getProgress(t, ts.URL+"/v1/designs/"+job.ID+"/progress?n=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+	}
+	if _, resp := getProgress(t, ts.URL+"/v1/designs/d-999999/progress"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDesignProgressRingBounded: the in-memory ring keeps only the most
+// recent ProgressBuffer records while the total keeps counting.
+func TestDesignProgressRingBounded(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, func(cfg *server.Config) {
+		cfg.ProgressBuffer = 4
+	})
+	const gens = 10
+	job := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), gens))
+	waitJob(t, ts, job.ID, 30*time.Second, terminal)
+
+	p, _ := getProgress(t, ts.URL+"/v1/designs/"+job.ID+"/progress?n=100")
+	if p.Generations != gens {
+		t.Errorf("total %d, want %d", p.Generations, gens)
+	}
+	if len(p.Records) != 4 || p.Records[0].Generation != gens-4 {
+		t.Fatalf("ring returned %d records starting at %d, want 4 starting at %d",
+			len(p.Records), p.Records[0].Generation, gens-4)
+	}
+}
+
+// TestDesignJournalOnDisk: with JournalDir set every job writes a
+// resumable run directory named after its ID.
+func TestDesignJournalOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, func(cfg *server.Config) {
+		cfg.JournalDir = dir
+		cfg.CheckpointEvery = 2
+	})
+	const gens = 6
+	job := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), gens))
+	done := waitJob(t, ts, job.ID, 30*time.Second, terminal)
+	if done.State != server.JobDone {
+		t.Fatalf("job finished %s: %s", done.State, done.Error)
+	}
+
+	runDir := filepath.Join(dir, job.ID)
+	recs, err := obs.ReadJournal(obs.JournalPath(runDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != gens {
+		t.Fatalf("journal has %d records, job ran %d generations", len(recs), gens)
+	}
+	cp, err := obs.LoadCheckpoint(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Generation != gens {
+		t.Errorf("final checkpoint at generation %d, want %d", cp.Generation, gens)
+	}
+	if cp.PopulationSize != 12 {
+		t.Errorf("checkpoint population %d, want the request's 12", cp.PopulationSize)
+	}
+}
+
+// TestStageHistogramsInMetrics: after a design job, /metrics exposes the
+// per-stage timing histograms.
+func TestStageHistogramsInMetrics(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, nil)
+	job := submitJob(t, ts, tinyDesign(pr.Proteins[0].Name(), 4))
+	waitJob(t, ts, job.ID, 30*time.Second, terminal)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		"insipsd_stage_seconds_bucket",
+		`stage="` + obs.StageGeneration + `"`,
+		`stage="` + obs.StageEval + `"`,
+		`stage="` + obs.StageGAMutate + `"`,
+		"insipsd_stage_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
 	"repro/internal/seq"
@@ -65,6 +66,22 @@ type Config struct {
 	//
 	//	func(w io.Writer) { master.Stats().WritePrometheus(w, "insipsd_netcluster") }
 	ExtraMetrics []func(io.Writer)
+	// Logger, if non-nil, receives structured events for job lifecycle and
+	// each job's run → generation → evaluation spans. Nil stays silent.
+	Logger *obs.Logger
+	// Stages collects per-stage timing histograms across all jobs,
+	// rendered on GET /metrics as insipsd_stage_seconds. Nil creates a
+	// private registry; pass one to share it with an embedding process.
+	Stages *obs.Registry
+	// JournalDir, if non-empty, gives every design job a run journal (and
+	// periodic checkpoints) under JournalDir/<job-id>/.
+	JournalDir string
+	// CheckpointEvery is the checkpoint cadence (generations) for
+	// journaled jobs. 0 = the obs default; negative disables checkpoints.
+	CheckpointEvery int
+	// ProgressBuffer is how many recent generation records each job keeps
+	// in memory for GET /v1/designs/{id}/progress. Default 256.
+	ProgressBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScoreThreads <= 0 {
 		c.MaxScoreThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.Stages == nil {
+		c.Stages = obs.NewRegistry()
+	}
+	if c.ProgressBuffer <= 0 {
+		c.ProgressBuffer = 256
 	}
 	return c
 }
@@ -110,7 +133,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		engines: engines,
-		jobs:    newJobStore(engines, m, cfg.QueueWorkers, cfg.QueueCapacity),
+		jobs: newJobStore(engines, m, cfg.QueueWorkers, cfg.QueueCapacity, jobObsConfig{
+			logger:          cfg.Logger,
+			stages:          cfg.Stages,
+			journalDir:      cfg.JournalDir,
+			checkpointEvery: cfg.CheckpointEvery,
+			progressBuffer:  cfg.ProgressBuffer,
+		}),
 		metrics: m,
 		mux:     http.NewServeMux(),
 	}
@@ -125,11 +154,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/designs", s.metrics.instrument("designs_create", s.handleDesignCreate))
 	s.mux.HandleFunc("GET /v1/designs", s.metrics.instrument("designs_list", s.handleDesignList))
 	s.mux.HandleFunc("GET /v1/designs/{id}", s.metrics.instrument("designs_get", s.handleDesignGet))
+	s.mux.HandleFunc("GET /v1/designs/{id}/progress", s.metrics.instrument("designs_progress", s.handleDesignProgress))
 	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.metrics.instrument("designs_cancel", s.handleDesignCancel))
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stages returns the per-stage timing registry shared by every design
+// job — the one rendered as insipsd_stage_seconds on GET /metrics.
+func (s *Server) Stages() *obs.Registry { return s.cfg.Stages }
 
 // Preload builds (or loads from the persisted database) the engine for
 // the default configuration, so the first request does not pay the
