@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/bgqsim"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/evalbackend"
 	"repro/internal/ga"
 	"repro/internal/pipe"
 	"repro/internal/seq"
@@ -323,6 +325,63 @@ func BenchmarkAblationDispatch(b *testing.B) {
 			makespan += int64(rep.Makespan())
 		}
 		b.ReportMetric(float64(makespan)/float64(b.N), "makespan_ns")
+	})
+}
+
+// BenchmarkBackendDispatch measures what the evaluation backend
+// abstraction costs per generation: a raw pool round versus the same
+// pool behind a Backend, versus a two-way sharded composite. The deltas
+// are the dispatch overhead — scores are identical on every variant.
+func BenchmarkBackendDispatch(b *testing.B) {
+	pr, eng := benchSetup(b)
+	rng := rand.New(rand.NewSource(3))
+	var seqs []seq.Sequence
+	for i := 0; i < 16; i++ {
+		d := yeastgen.Difficulty(i % int(yeastgen.NumDifficulties))
+		seqs = append(seqs, pr.DifficultySequence(rng, d, 160))
+	}
+	cfg := cluster.Config{Workers: 2, ThreadsPerWorker: 1}
+	b.Run("pool-direct", func(b *testing.B) {
+		pool, err := cluster.New(eng, 0, []int{1, 2, 3}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.EvaluateAll(seqs)
+		}
+	})
+	b.Run("backend", func(b *testing.B) {
+		be, err := evalbackend.NewPool(eng, 0, []int{1, 2, 3}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := be.EvaluateAll(context.Background(), seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded-2", func(b *testing.B) {
+		shards := make([]evalbackend.Backend, 2)
+		for k := range shards {
+			pb, err := evalbackend.NewPool(eng, 0, []int{1, 2, 3}, cluster.Config{Workers: 1, ThreadsPerWorker: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards[k] = pb
+		}
+		sh, err := evalbackend.NewSharded(shards...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sh.EvaluateAll(context.Background(), seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/evalbackend"
 	"repro/internal/ga"
 	"repro/internal/island"
 	"repro/internal/netcluster"
@@ -104,6 +105,7 @@ func main() {
 		warm     = flag.Bool("warm-start", true, "seed the population with natural-fragment chimeras")
 		workers  = flag.Int("workers", 2, "worker processes")
 		threads  = flag.Int("threads", 2, "threads per worker")
+		shards   = flag.Int("shards", 0, "statically shard evaluation over this many in-process pools (0/1 = one pool)")
 		islands  = flag.Int("islands", 0, "run the multi-rack island model with this many masters (0 = single master)")
 		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
 		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
@@ -122,6 +124,7 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "liveness ping interval, broadcast to workers (0 = derived from -lease)")
 		backoffMin  = flag.Duration("backoff-min", 100*time.Millisecond, "worker reconnect backoff floor (-worker mode)")
 		backoffMax  = flag.Duration("backoff-max", 10*time.Second, "worker reconnect backoff ceiling (-worker mode)")
+		fallback    = flag.Bool("fallback-local", false, "re-evaluate tasks the cluster abandons on a local pool (-listen mode)")
 	)
 	flag.Parse()
 
@@ -228,11 +231,11 @@ func main() {
 	if *resume && *journalDir == "" {
 		log.Fatal("-resume requires -journal DIR (the directory holding the checkpoint)")
 	}
+	if *resume && *islands > 1 {
+		log.Fatal("-resume cannot be combined with -islands (the island model has no checkpoint path)")
+	}
 	var journal *obs.RunJournal
-	if *journalDir != "" {
-		if *islands > 1 {
-			log.Fatal("-journal cannot be combined with -islands (the island model has no checkpoint path)")
-		}
+	if *journalDir != "" && *islands <= 1 {
 		var err error
 		journal, err = obs.OpenJournal(*journalDir, obs.JournalOptions{CheckpointEvery: *ckptEvery, Logger: logger})
 		if err != nil {
@@ -248,6 +251,34 @@ func main() {
 					cp.Generation, cp.Fitness, cp.Target, cp.MaxNonTarget)
 			}
 		}
+	}
+	if *shards > 1 && *listenAddr != "" {
+		log.Fatal("-shards shards over in-process pools and cannot be combined with -listen (TCP workers)")
+	}
+	if *shards > 1 && *islands > 1 {
+		log.Fatal("-shards cannot be combined with -islands (each island already owns its own pool)")
+	}
+	if *fallback && *listenAddr == "" {
+		log.Fatal("-fallback-local requires -listen (it recovers tasks the TCP cluster abandons)")
+	}
+	localPool := func() evalbackend.Backend {
+		pb, err := evalbackend.NewPool(engine, targetID, ntIDs,
+			cluster.Config{Workers: *workers, ThreadsPerWorker: *threads, Metrics: metrics})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pb
+	}
+	if *shards > 1 {
+		shardBackends := make([]evalbackend.Backend, *shards)
+		for i := range shardBackends {
+			shardBackends[i] = localPool()
+		}
+		sh, err := evalbackend.NewSharded(shardBackends...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Backend = sh
 	}
 	var master *netcluster.Master
 	if *listenAddr != "" {
@@ -275,7 +306,13 @@ func main() {
 		}
 		log.Printf("master: %d worker(s) connected (lease %s, max %d attempts)",
 			master.Workers(), *lease, *maxAttempts)
-		opts.Evaluate = master.EvaluateAll
+		backend := evalbackend.Backend(evalbackend.NewMaster(master))
+		if *fallback {
+			// Abandoned tasks (all attempts exhausted) re-evaluate on a
+			// local pool instead of scoring zero fitness.
+			backend = evalbackend.WithRetry(backend, localPool(), logger)
+		}
+		opts.Backend = backend
 		// Stamp per-generation worker/lease deltas into the journal stream.
 		var prev netcluster.Stats
 		opts.OnJournalRecord = func(rec *obs.GenerationRecord) {
@@ -286,18 +323,46 @@ func main() {
 			prev = st
 		}
 	}
+	// Interrupting a run (SIGINT/SIGTERM) stops it cleanly; a journaled
+	// single-population run checkpoints so it can resume with -resume.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *islands > 1 {
 		// Multi-rack mode (paper Section 3.2): one master per rack,
 		// syncing after each round.
-		ires, err := island.Run(
+		icfg := island.Config{
+			Islands:      *islands,
+			SyncInterval: *syncIv,
+			Generations:  *maxGens,
+			Cluster:      cluster.Config{Workers: *workers, ThreadsPerWorker: *threads},
+			Logger:       logger,
+			Metrics:      metrics,
+		}
+		if *journalDir != "" {
+			// One journal per island under DIR/island-<k>; the island
+			// model has no checkpoint path, so cadence is disabled.
+			journals := make([]*obs.RunJournal, *islands)
+			for k := range journals {
+				j, err := obs.OpenJournal(filepath.Join(*journalDir, fmt.Sprintf("island-%d", k)),
+					obs.JournalOptions{CheckpointEvery: -1, Logger: logger})
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer j.Close()
+				journals[k] = j
+			}
+			icfg.Journals = journals
+		}
+		if *progress > 0 {
+			icfg.OnGeneration = func(gen int, best []float64) {
+				if gen%*progress == 0 {
+					log.Printf("gen %4d: island bests %.4f", gen, best)
+				}
+			}
+		}
+		ires, err := island.Run(runCtx,
 			core.Problem{Engine: engine, TargetID: targetID, NonTargetIDs: ntIDs},
-			opts.GA,
-			island.Config{
-				Islands:      *islands,
-				SyncInterval: *syncIv,
-				Generations:  *maxGens,
-				Cluster:      cluster.Config{Workers: *workers, ThreadsPerWorker: *threads},
-			})
+			opts.GA, icfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -321,10 +386,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Interrupting a journaled run (SIGINT/SIGTERM) checkpoints it so it
-	// can be picked up again with -resume.
-	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
 	var res core.Result
 	if *resume {
 		cp, err := obs.LoadCheckpoint(*journalDir)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -128,6 +129,25 @@ func TestStaticMatchesOnDemandResults(t *testing.T) {
 		if onDemand.Results[i].TargetScore != static.Results[i].TargetScore {
 			t.Errorf("candidate %d: dispatch modes disagree", i)
 		}
+	}
+}
+
+// TestStaticGoldenEquivalence pins the stronger contract the evaluation
+// backends rely on: static round-robin partitioning returns Results that
+// are exactly — bit for bit, field for field — what on-demand dispatch
+// returns. Scheduling policy must never leak into scores.
+func TestStaticGoldenEquivalence(t *testing.T) {
+	_, eng := setup(t)
+	pool, _ := New(eng, 2, []int{0, 1, 4}, Config{Workers: 4, ThreadsPerWorker: 2})
+	seqs := candidates(13, 110, 7)
+	want := pool.EvaluateAll(seqs)
+	got := pool.EvaluateAllStatic(seqs).Results
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("static dispatch results diverged from on-demand:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	// And the equivalence is stable across repetition (no hidden state).
+	if again := pool.EvaluateAll(seqs); !reflect.DeepEqual(again, want) {
+		t.Fatal("repeated on-demand evaluation diverged from itself")
 	}
 }
 

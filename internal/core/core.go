@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/evalbackend"
 	"repro/internal/ga"
 	"repro/internal/obs"
 	"repro/internal/pipe"
@@ -109,13 +110,21 @@ type Options struct {
 	// OnGeneration, if non-nil, observes each generation's curve point as
 	// the run progresses.
 	OnGeneration func(CurvePoint)
+	// Backend, if non-nil, supplies candidate evaluation instead of the
+	// default in-process pool — e.g. evalbackend.NewMaster over a
+	// netcluster.Master, or a sharded composite. The Designer layers its
+	// own middleware (metrics span/timing, then the fitness memo cache)
+	// on top, and never closes the backend: its lifecycle belongs to
+	// the caller. A candidate whose Result.Err is set (a task the
+	// backend abandoned) scores zero fitness for that generation; a
+	// call-level error aborts the run with a partial Result.
+	Backend evalbackend.Backend
 	// Evaluate, if non-nil, replaces the in-process pool as the
-	// fitness-evaluation backend — e.g. a netcluster.Master's
-	// EvaluateAll for a distributed run. It must return one Result per
-	// candidate, indexed like seqs. A candidate whose Result.Err is set
-	// (a task the cluster abandoned) scores zero fitness for that
-	// generation; a call-level error aborts the run with a partial
-	// Result.
+	// fitness-evaluation backend. It must return one Result per
+	// candidate, indexed like seqs; error semantics match Backend.
+	//
+	// Deprecated: set Backend instead (Evaluate is wrapped in
+	// evalbackend.Func and ignored when Backend is non-nil).
 	Evaluate func(seqs []seq.Sequence) ([]cluster.Result, error)
 	// WarmStart seeds the initial population with chimeras spliced from
 	// random natural-protein fragments instead of uniform random
@@ -170,20 +179,21 @@ type Result struct {
 type Designer struct {
 	problem Problem
 	opts    Options
-	pool    *cluster.Pool
+	backend evalbackend.Backend // the full middleware chain evaluateAll calls
 	engine  *ga.Engine
 
-	cache     *FitnessCache // nil when memoization is disabled
-	problemFP uint64        // cache key namespace for this problem
+	problemFP uint64 // cache key namespace for this problem
 
-	details []Detail // details of the current generation, by index
-	evalErr error    // first Evaluate backend failure, surfaced by RunContext
-	used    bool     // a Designer drives at most one run
+	runCtx  context.Context // the active run's context, threaded to the backend
+	details []Detail        // details of the current generation, by index
+	evalErr error           // first evaluation backend failure, surfaced by RunContext
+	used    bool            // a Designer drives at most one run
 
 	// Per-generation evaluation accounting for the run journal,
-	// refreshed by evaluateAll.
+	// refreshed by evaluateAll (derived from backend Stats deltas).
 	genEvaluated int
 	genCacheHits int
+	genAbandoned int
 	genEvalWall  time.Duration
 	genMinFit    float64
 	genPopHash   string
@@ -195,19 +205,37 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 	if problem.Engine == nil {
 		return nil, fmt.Errorf("core: nil PIPE engine")
 	}
+	// Always construct the in-process pool: it validates the problem's
+	// target/non-target IDs (for every backend) and costs nothing at
+	// rest.
 	pool, err := cluster.New(problem.Engine, problem.TargetID, problem.NonTargetIDs, opts.Cluster)
 	if err != nil {
 		return nil, err
 	}
-	d := &Designer{problem: problem, opts: opts, pool: pool}
+	d := &Designer{problem: problem, opts: opts, runCtx: context.Background()}
 	// The fingerprint keys both the fitness memo cache and checkpoint
 	// compatibility checks, so compute it regardless of caching.
 	d.problemFP = ProblemFingerprint(problem.Engine, problem.TargetID, problem.NonTargetIDs)
+	// Assemble the evaluation chain: leaf backend (caller-supplied, the
+	// deprecated Evaluate hook, or the in-process pool), then the
+	// metrics span/timing layer, then — outermost — the fitness memo
+	// cache so hits skip evaluation and timing alike.
+	var base evalbackend.Backend
+	switch {
+	case opts.Backend != nil:
+		base = opts.Backend
+	case opts.Evaluate != nil:
+		base = evalbackend.Func(opts.Evaluate)
+	default:
+		base = evalbackend.WrapPool(pool)
+	}
+	d.backend = evalbackend.WithMetrics(base, opts.Logger, opts.Metrics)
 	if !opts.DisableFitnessCache {
-		d.cache = opts.FitnessCache
-		if d.cache == nil {
-			d.cache = NewFitnessCache(DefaultFitnessCacheSize)
+		cache := opts.FitnessCache
+		if cache == nil {
+			cache = NewFitnessCache(DefaultFitnessCacheSize)
 		}
+		d.backend = evalbackend.WithFitnessCache(d.backend, cache, d.problemFP)
 	}
 	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
 	if err != nil {
@@ -228,17 +256,17 @@ func (d *Designer) ProblemFP() uint64 { return d.problemFP }
 // The slice is owned by the engine; treat it as read-only.
 func (d *Designer) Population() []ga.Individual { return d.engine.Population() }
 
-// evaluateAll is the GA's fitness callback: it serves memoized
-// candidates from the fitness cache (byte-identical sequences the copy
-// operator re-emits, or converged duplicates), runs the master/worker
-// evaluation (Algorithm 1's dispatch loop) for the misses only, and
-// converts PIPE scores to fitness, stashing the decomposition for curve
-// recording.
+// evaluateAll is the GA's fitness callback: it hands the generation to
+// the evaluation backend chain (fitness memo cache over metrics over
+// the leaf backend — see NewDesigner) and converts the PIPE score
+// profiles to fitness, stashing the decomposition for curve recording.
+// Per-generation journal accounting (evaluated / cache hits / eval
+// wall) comes from diffing the chain's Stats around the call.
 func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	fits := make([]float64, len(seqs))
 	d.details = make([]Detail, len(seqs))
 	d.genPopHash = PopulationHash(seqs)
-	d.genEvaluated, d.genCacheHits, d.genEvalWall = 0, 0, 0
+	d.genEvaluated, d.genCacheHits, d.genAbandoned, d.genEvalWall = 0, 0, 0, 0
 	defer func() {
 		min := 0.0
 		for i, f := range fits {
@@ -248,65 +276,30 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 		}
 		d.genMinFit = min
 	}()
-	missIdx := make([]int, 0, len(seqs))
-	var missSeqs []seq.Sequence
-	if d.cache != nil {
-		for i, s := range seqs {
-			if det, ok := d.cache.lookup(d.problemFP, s.Residues()); ok {
-				d.details[i] = det
-				fits[i] = det.Fitness
-			} else {
-				missIdx = append(missIdx, i)
-			}
-		}
-		if len(missIdx) == len(seqs) {
-			missSeqs = seqs
-		} else {
-			missSeqs = make([]seq.Sequence, len(missIdx))
-			for k, i := range missIdx {
-				missSeqs[k] = seqs[i]
-			}
-		}
-	} else {
-		for i := range seqs {
-			missIdx = append(missIdx, i)
-		}
-		missSeqs = seqs
+	pre := d.backend.Stats()
+	results, err := d.backend.EvaluateAll(d.runCtx, seqs)
+	post := d.backend.Stats()
+	d.genEvaluated = int(post.Tasks - pre.Tasks)
+	d.genCacheHits = int(post.CacheHits - pre.CacheHits)
+	d.genEvalWall = time.Duration(post.EvalWallNS - pre.EvalWallNS)
+	if err == nil && len(results) != len(seqs) {
+		err = fmt.Errorf("core: evaluation backend returned %d results for %d candidates", len(results), len(seqs))
 	}
-	d.genCacheHits = len(seqs) - len(missSeqs)
-	d.genEvaluated = len(missSeqs)
-	if len(missSeqs) == 0 {
+	if err != nil {
+		if d.evalErr == nil {
+			d.evalErr = err
+		}
+		d.opts.Logger.Error("evaluation backend failed", "err", err)
 		return fits
 	}
-	endEval := d.opts.Logger.Span("evaluation batch", "candidates", len(missSeqs), "cache_hits", d.genCacheHits)
-	evalStart := time.Now()
-	var results []cluster.Result
-	if d.opts.Evaluate != nil {
-		var err error
-		results, err = d.opts.Evaluate(missSeqs)
-		if err != nil || len(results) != len(missSeqs) {
-			if err == nil {
-				err = fmt.Errorf("core: evaluate backend returned %d results for %d candidates", len(results), len(missSeqs))
-			}
-			if d.evalErr == nil {
-				d.evalErr = err
-			}
-			d.opts.Logger.Error("evaluation backend failed", "err", err)
-			return fits
-		}
-	} else {
-		results = d.pool.EvaluateAll(missSeqs)
-	}
-	d.genEvalWall = time.Since(evalStart)
-	d.opts.Metrics.Observe(obs.StageEval, d.genEvalWall)
-	endEval()
-	for k, r := range results {
-		i := missIdx[k]
+	for i, r := range results {
 		if r.Err != nil {
-			// The cluster abandoned this task (e.g. after MaxAttempts);
-			// score it as a dead end rather than sinking the generation.
-			// Abandonment is not deterministic, so it is never memoized.
+			// The backend abandoned this task (e.g. netcluster quarantine
+			// after MaxAttempts, or a failed shard); score it as a dead
+			// end rather than sinking the generation. Abandonment is not
+			// deterministic, so the cache middleware never memoizes it.
 			d.details[i] = Detail{}
+			d.genAbandoned++
 			continue
 		}
 		det := Detail{
@@ -317,9 +310,10 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 		det.Fitness = Fitness(r.TargetScore, r.NonTargetScores)
 		d.details[i] = det
 		fits[i] = det.Fitness
-		if d.cache != nil {
-			d.cache.store(d.problemFP, seqs[i].Residues(), det)
-		}
+	}
+	if d.genAbandoned > 0 {
+		d.opts.Logger.Warn("evaluation tasks abandoned; scoring zero fitness",
+			"abandoned", d.genAbandoned, "candidates", len(seqs))
 	}
 	return fits
 }
@@ -468,6 +462,7 @@ func (d *Designer) ResumeContext(ctx context.Context, cp obs.Checkpoint) (Result
 // termination, recording the learning curve, appending journal records
 // and writing periodic checkpoints.
 func (d *Designer) runLoop(ctx context.Context, curve []CurvePoint, bestDetail Detail, bestSeq seq.Sequence) (Result, error) {
+	d.runCtx = ctx
 	term := d.opts.Termination
 	if term.MaxGenerations <= 0 && term.StallGenerations <= 0 {
 		term.MaxGenerations = 100
@@ -546,6 +541,7 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 		PopHash:         d.genPopHash,
 		Evaluated:       d.genEvaluated,
 		CacheHits:       d.genCacheHits,
+		AbandonedTasks:  d.genAbandoned,
 		EvalWallMS:      float64(d.genEvalWall) / float64(time.Millisecond),
 		GenWallMS:       float64(genWall) / float64(time.Millisecond),
 	}

@@ -1,75 +1,16 @@
 package core
 
 import (
-	"fmt"
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/pipe"
 )
 
-func TestFitnessCacheHitReturnsStoredDetail(t *testing.T) {
-	c := NewFitnessCache(8)
-	d := Detail{Fitness: 0.42, Target: 0.9, MaxNonTarget: 0.5, AvgNonTarget: 0.25}
-	c.store(1, "ACDEF", d)
-	got, ok := c.lookup(1, "ACDEF")
-	if !ok {
-		t.Fatal("stored entry not found")
-	}
-	if got != d {
-		t.Fatalf("lookup = %+v, want %+v", got, d)
-	}
-	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 0 || st.Entries != 1 {
-		t.Fatalf("stats after hit: %+v", st)
-	}
-}
-
-func TestFitnessCacheFingerprintIsolation(t *testing.T) {
-	c := NewFitnessCache(8)
-	c.store(1, "ACDEF", Detail{Fitness: 0.42})
-	// Same residues under a different problem fingerprint: must miss.
-	if _, ok := c.lookup(2, "ACDEF"); ok {
-		t.Fatal("entry leaked across problem fingerprints")
-	}
-	// Different residues under the same fingerprint: must miss.
-	if _, ok := c.lookup(1, "ACDEG"); ok {
-		t.Fatal("entry returned for different residues")
-	}
-}
-
-func TestFitnessCacheLRUBound(t *testing.T) {
-	c := NewFitnessCache(3)
-	for i := 0; i < 5; i++ {
-		c.store(1, fmt.Sprintf("SEQ%d", i), Detail{Fitness: float64(i)})
-	}
-	if st := c.Stats(); st.Entries != 3 {
-		t.Fatalf("entries = %d, want bound 3", st.Entries)
-	}
-	// Oldest two evicted, newest three resident.
-	for i := 0; i < 2; i++ {
-		if _, ok := c.lookup(1, fmt.Sprintf("SEQ%d", i)); ok {
-			t.Fatalf("SEQ%d survived past the LRU bound", i)
-		}
-	}
-	for i := 2; i < 5; i++ {
-		if d, ok := c.lookup(1, fmt.Sprintf("SEQ%d", i)); !ok || d.Fitness != float64(i) {
-			t.Fatalf("SEQ%d: ok=%v detail=%+v", i, ok, d)
-		}
-	}
-	// A lookup refreshes recency: touch SEQ2 then insert two more — SEQ2
-	// must outlive SEQ3.
-	c.lookup(1, "SEQ2")
-	c.store(1, "SEQ5", Detail{})
-	c.store(1, "SEQ6", Detail{})
-	if _, ok := c.lookup(1, "SEQ2"); !ok {
-		t.Fatal("recently used SEQ2 evicted before older entries")
-	}
-	if _, ok := c.lookup(1, "SEQ3"); ok {
-		t.Fatal("SEQ3 should have been evicted as least recently used")
-	}
-}
+// The cache's own unit tests (hit/miss, LRU bound, fingerprint
+// isolation, Prometheus rendering) live with the implementation in
+// internal/evalbackend; this file covers what stayed in core — the
+// problem fingerprint and the Designer-level cache equivalence.
 
 func TestProblemFingerprintSensitivity(t *testing.T) {
 	pr, eng := setup(t)
@@ -91,25 +32,6 @@ func TestProblemFingerprintSensitivity(t *testing.T) {
 	}
 	if ProblemFingerprint(alt, 0, []int{1, 2}) == base {
 		t.Fatal("engine config change did not alter fingerprint")
-	}
-}
-
-func TestFitnessCachePrometheus(t *testing.T) {
-	c := NewFitnessCache(4)
-	c.store(7, "AAAA", Detail{})
-	c.lookup(7, "AAAA")
-	c.lookup(7, "CCCC")
-	var b strings.Builder
-	c.WritePrometheus(&b, "insipsd_fitness_cache")
-	out := b.String()
-	for _, want := range []string{
-		"insipsd_fitness_cache_hits_total 1",
-		"insipsd_fitness_cache_misses_total 1",
-		"insipsd_fitness_cache_entries 1",
-	} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("metrics output missing %q:\n%s", want, out)
-		}
 	}
 }
 

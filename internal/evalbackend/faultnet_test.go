@@ -1,0 +1,160 @@
+package evalbackend
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/netcluster"
+)
+
+// stalledMasterShard builds a netcluster master with one real TCP worker
+// whose link is fault-injected, runs a warm-up round so the worker is
+// parked ready for the next dispatch (its result message doubles as the
+// next task request, so after a completed round the master needs no
+// further worker I/O to dispatch), then stalls the link. The next task
+// dispatched to this master is leased, never answered, and quarantined
+// after MaxAttempts=1 — a deterministic abandoned task.
+func stalledMasterShard(t *testing.T) *netcluster.Master {
+	t.Helper()
+	_, eng := setup(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := netcluster.NewMasterOptions(netcluster.NewSetup(eng, 0, []int{1, 2}, 1), ln, netcluster.Options{
+		LeaseTimeout:      150 * time.Millisecond,
+		HeartbeatInterval: 40 * time.Millisecond,
+		HeartbeatMisses:   1000, // liveness stays out of the way: the lease path is under test
+		MaxAttempts:       1,
+	})
+	t.Cleanup(func() { m.Close() })
+
+	prof := faultnet.NewProfile()
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		netcluster.RunWorkerLoop(workerCtx, m.Addr(), netcluster.WorkerOptions{Dial: faultnet.Dialer(prof)})
+	}()
+	t.Cleanup(func() { prof.Unstall(); stopWorker(); <-workerDone })
+
+	warm, err := m.EvaluateAllContext(context.Background(), candidates(1, 80, 55))
+	if err != nil {
+		t.Fatalf("warm-up round: %v", err)
+	}
+	if len(warm) != 1 || warm[0].Err != nil {
+		t.Fatalf("warm-up round results: %+v", warm)
+	}
+	prof.Stall()
+	return m
+}
+
+// TestShardedFaultnetStallDegradesToAbandonedTasks is the backend-suite
+// failure test: a sharded composite where one shard's distributed
+// worker stalls mid-round must return the healthy shard's scores
+// bit-identically and degrade the stalled shard's task to a per-task
+// ErrTaskAbandoned result — not abort the round.
+func TestShardedFaultnetStallDegradesToAbandonedTasks(t *testing.T) {
+	seqs := candidates(2, 90, 21)
+	reference := poolBackend(t, 1)
+	want, err := reference.EvaluateAll(context.Background(), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := stalledMasterShard(t)
+	sh, err := NewSharded(poolBackend(t, 1), NewMaster(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.EvaluateAll(context.Background(), seqs)
+	if err != nil {
+		t.Fatalf("degraded round returned call-level error: %v", err)
+	}
+	if got[0].Err != nil || got[0].TargetScore != want[0].TargetScore ||
+		!reflect.DeepEqual(got[0].NonTargetScores, want[0].NonTargetScores) {
+		t.Fatalf("healthy shard result diverged: %+v", got[0])
+	}
+	if !errors.Is(got[1].Err, netcluster.ErrTaskAbandoned) {
+		t.Fatalf("stalled shard result: err = %v, want ErrTaskAbandoned", got[1].Err)
+	}
+	if got[1].Index != 1 {
+		t.Fatalf("stalled shard result has index %d", got[1].Index)
+	}
+	mst := m.Stats()
+	if mst.TasksQuarantined != 1 || mst.LeasesExpired < 1 {
+		t.Fatalf("master stats: %+v", mst)
+	}
+	st := sh.Stats()
+	if st.Abandoned != 1 {
+		t.Fatalf("composite stats: %+v", st)
+	}
+}
+
+// TestRetryRecoversStalledShardOnLocalPool: the cmd/insips
+// -fallback-local composition — WithRetry over a sharded composite with
+// a local pool fallback — must turn the stalled shard's abandoned task
+// into a bit-identical locally-scored result.
+func TestRetryRecoversStalledShardOnLocalPool(t *testing.T) {
+	seqs := candidates(2, 90, 23)
+	reference := poolBackend(t, 1)
+	want, err := reference.EvaluateAll(context.Background(), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := stalledMasterShard(t)
+	sh, err := NewSharded(poolBackend(t, 1), NewMaster(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := WithRetry(sh, poolBackend(t, 1), nil)
+	got, err := b.EvaluateAll(context.Background(), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	st := b.Stats()
+	if st.Retried != 1 || st.Recovered != 1 || st.Abandoned != 1 {
+		t.Fatalf("retry stats: %+v", st)
+	}
+}
+
+// TestShardedClosedMasterDegrades: a shard whose master is already
+// closed fails at call level (ErrMasterClosed) and must degrade to
+// per-task ErrShardFailed results wrapping that cause.
+func TestShardedClosedMasterDegrades(t *testing.T) {
+	_, eng := setup(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := netcluster.NewMaster(netcluster.NewSetup(eng, 0, []int{1, 2}, 1), ln)
+	m.Close()
+
+	sh, err := NewSharded(poolBackend(t, 1), NewMaster(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := candidates(4, 80, 31)
+	got, err := sh.EvaluateAll(context.Background(), seqs)
+	if err != nil {
+		t.Fatalf("degraded round returned call-level error: %v", err)
+	}
+	for i, r := range got {
+		if i%2 == 0 {
+			if r.Err != nil {
+				t.Fatalf("healthy shard result %d: %v", i, r.Err)
+			}
+			continue
+		}
+		if !errors.Is(r.Err, ErrShardFailed) {
+			t.Fatalf("closed-master shard result %d: err = %v, want ErrShardFailed", i, r.Err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package evalbackend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/seq"
+)
+
+// ErrShardFailed wraps a shard's call-level failure when the sharded
+// composite degrades it to per-task errors. Use errors.Is on a merged
+// Result.Err to distinguish a failed shard from a task the shard itself
+// abandoned (e.g. netcluster.ErrTaskAbandoned, which passes through
+// unchanged).
+var ErrShardFailed = errors.New("evalbackend: shard failed")
+
+// Sharded fans a generation out across multiple backends — the paper's
+// multi-rack configuration (§3.2), where each rack runs its own
+// master/worker tree. The partition is static round-robin: shard k of n
+// receives the candidates at indices k, k+n, k+2n, … Because PIPE
+// scoring is deterministic and per-candidate, the merged results are
+// bit-identical to a single backend evaluating the whole batch,
+// regardless of shard count.
+//
+// A shard whose whole call fails (master closed, worker pool lost)
+// degrades to per-task ErrShardFailed results for its slice of the
+// batch instead of aborting the round — the surviving shards' scores
+// are kept, and WithRetry can re-evaluate the failed slice on a
+// fallback. Context cancellation is the exception: it aborts the round
+// with a call-level error, like every other backend.
+type Sharded struct {
+	shards []Backend
+	c      counters
+}
+
+// NewSharded composes shards into one Backend. Each shard must be a
+// distinct backend instance: rounds are dispatched to all shards
+// concurrently, and e.g. a netcluster.Master serializes rounds
+// (ErrBusy), so sharing one master between shards would fail.
+func NewSharded(shards ...Backend) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("evalbackend: sharded composite needs at least one shard")
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("evalbackend: shard %d is nil", i)
+		}
+	}
+	return &Sharded{shards: shards}, nil
+}
+
+// EvaluateAll partitions seqs round-robin across the shards, evaluates
+// the sub-batches concurrently and merges the results back into input
+// order.
+func (s *Sharded) EvaluateAll(ctx context.Context, seqs []seq.Sequence) ([]cluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := len(s.shards)
+	subs := make([][]seq.Sequence, n)
+	for i, sq := range seqs {
+		k := i % n
+		subs[k] = append(subs[k], sq)
+	}
+	subResults := make([][]cluster.Result, n)
+	subErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := range s.shards {
+		if len(subs[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			res, err := s.shards[k].EvaluateAll(ctx, subs[k])
+			if err == nil && len(res) != len(subs[k]) {
+				err = fmt.Errorf("evalbackend: shard %d returned %d results for %d candidates", k, len(res), len(subs[k]))
+			}
+			subResults[k], subErrs[k] = res, err
+		}(k)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Cancellation aborts the round; don't dress it up as shard
+		// degradation.
+		return nil, err
+	}
+	merged := make([]cluster.Result, len(seqs))
+	for i := range seqs {
+		k := i % n
+		pos := i / n
+		if subErrs[k] != nil {
+			merged[i] = cluster.Result{Index: i, Err: fmt.Errorf("%w: shard %d: %v", ErrShardFailed, k, subErrs[k])}
+			continue
+		}
+		r := subResults[k][pos]
+		r.Index = i
+		merged[i] = r
+	}
+	// Children tally their own rounds/tasks/abandonments; the composite's
+	// own counters record only the failures it synthesized for dead
+	// shards.
+	for k, err := range subErrs {
+		if err != nil {
+			s.c.abandoned.Add(int64(len(subs[k])))
+		}
+	}
+	return merged, nil
+}
+
+// Stats sums the children's counters with the composite's own
+// (synthesized shard-failure abandonments).
+func (s *Sharded) Stats() Stats {
+	st := s.c.snapshot()
+	for _, sh := range s.shards {
+		st = st.Add(sh.Stats())
+	}
+	return st
+}
+
+// Close closes every shard, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,186 @@
+package island
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/evalbackend"
+	"repro/internal/netcluster"
+	"repro/internal/obs"
+)
+
+func smallClusterCfg() cluster.Config {
+	return cluster.Config{Workers: 1, ThreadsPerWorker: 1}
+}
+
+func TestRunValidatesBackendAndJournalCounts(t *testing.T) {
+	p := problem(t)
+	pb, err := evalbackend.NewPool(p.Engine, p.TargetID, p.NonTargetIDs, smallClusterCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Islands: 3, Generations: 2, Backends: []evalbackend.Backend{pb}}
+	if _, err := Run(context.Background(), p, gaParams(10, 1), cfg); err == nil {
+		t.Error("backend count mismatch accepted")
+	}
+	cfg = Config{Islands: 3, Generations: 2, Journals: make([]*obs.RunJournal, 2)}
+	if _, err := Run(context.Background(), p, gaParams(10, 1), cfg); err == nil {
+		t.Error("journal count mismatch accepted")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	p := problem(t)
+	cfg := Config{Islands: 2, SyncInterval: 1, Migrants: 1, Generations: 50,
+		Cluster: smallClusterCfg()}
+
+	// A pre-cancelled context stops before any generation runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, p, gaParams(8, 1), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Generations != 0 {
+		t.Fatalf("pre-cancelled run executed %d generations", res.Generations)
+	}
+
+	// Cancelling mid-run stops all islands within one generation.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cfg.OnGeneration = func(gen int, _ []float64) {
+		if gen == 2 {
+			cancel2()
+		}
+	}
+	res, err = Run(ctx2, p, gaParams(8, 1), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Generations != 3 {
+		t.Fatalf("run executed %d generations after cancel at generation 3", res.Generations)
+	}
+	for k, curve := range res.Curves {
+		if len(curve) != 3 {
+			t.Fatalf("island %d curve has %d points, want 3", k, len(curve))
+		}
+	}
+	if res.Best.Seq.Len() == 0 {
+		t.Fatal("partial result lost the best individual")
+	}
+}
+
+// TestNetclusterBackendTrajectoryMatchesInProcess is the acceptance test
+// for island-over-netcluster: two islands, each backed by its own
+// distributed master with two real TCP workers, must reproduce the
+// in-process run's per-generation best-fitness trajectories bit for bit.
+func TestNetclusterBackendTrajectoryMatchesInProcess(t *testing.T) {
+	p := problem(t)
+	params := gaParams(10, 99)
+	cfg := Config{Islands: 2, SyncInterval: 2, Migrants: 1, Generations: 4,
+		Cluster: smallClusterCfg()}
+
+	want, err := Run(context.Background(), p, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One master per island: netcluster serializes rounds per master
+	// (ErrBusy), and islands evaluate concurrently.
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	backends := make([]evalbackend.Backend, cfg.Islands)
+	for k := range backends {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := netcluster.NewMaster(netcluster.NewSetup(p.Engine, p.TargetID, p.NonTargetIDs, 1), ln)
+		t.Cleanup(func() { m.Close() })
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				netcluster.RunWorkerLoop(workerCtx, addr, netcluster.WorkerOptions{})
+			}(m.Addr())
+		}
+		backends[k] = evalbackend.NewMaster(m)
+	}
+	t.Cleanup(func() { stopWorkers(); wg.Wait() })
+
+	dcfg := cfg
+	dcfg.Backends = backends
+	got, err := Run(context.Background(), p, params, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Curves, want.Curves) {
+		t.Fatalf("netcluster trajectories diverged from in-process run:\ngot:  %v\nwant: %v",
+			got.Curves, want.Curves)
+	}
+	if got.Best.Fitness != want.Best.Fitness || got.Best.Seq.Residues() != want.Best.Seq.Residues() {
+		t.Fatalf("best individual diverged: got %f %q, want %f %q",
+			got.Best.Fitness, got.Best.Seq.Residues(), want.Best.Fitness, want.Best.Seq.Residues())
+	}
+	if got.BestIsland != want.BestIsland || got.Migrations != want.Migrations {
+		t.Fatalf("run shape diverged: got island %d / %d migrations, want %d / %d",
+			got.BestIsland, got.Migrations, want.BestIsland, want.Migrations)
+	}
+}
+
+func TestPerIslandJournals(t *testing.T) {
+	p := problem(t)
+	pop := 8
+	cfg := Config{Islands: 2, SyncInterval: 1, Migrants: 1, Generations: 3,
+		Cluster: smallClusterCfg()}
+	dirs := make([]string, cfg.Islands)
+	journals := make([]*obs.RunJournal, cfg.Islands)
+	for k := range journals {
+		dirs[k] = filepath.Join(t.TempDir(), "island")
+		j, err := obs.OpenJournal(dirs[k], obs.JournalOptions{CheckpointEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		journals[k] = j
+	}
+	cfg.Journals = journals
+	res, err := Run(context.Background(), p, gaParams(pop, 11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range journals {
+		if err := journals[k].Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obs.ReadJournal(obs.JournalPath(dirs[k]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != cfg.Generations {
+			t.Fatalf("island %d journal has %d records, want %d", k, len(recs), cfg.Generations)
+		}
+		for g, rec := range recs {
+			if rec.Generation != g {
+				t.Fatalf("island %d record %d has generation %d", k, g, rec.Generation)
+			}
+			if rec.Evaluated+rec.CacheHits+rec.AbandonedTasks != pop {
+				t.Fatalf("island %d gen %d accounting: evaluated %d + hits %d + abandoned %d != pop %d",
+					k, g, rec.Evaluated, rec.CacheHits, rec.AbandonedTasks, pop)
+			}
+			if rec.BestFitness != res.Curves[k][g] {
+				t.Fatalf("island %d gen %d journal best %f != curve %f",
+					k, g, rec.BestFitness, res.Curves[k][g])
+			}
+			if rec.PopHash == "" {
+				t.Fatalf("island %d gen %d record missing pop hash", k, g)
+			}
+		}
+	}
+}

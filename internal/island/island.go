@@ -6,22 +6,35 @@
 // synchronization overhead would be small."
 //
 // Each rack becomes an island: an independent genetic-algorithm engine
-// with its own seed and its own master/worker evaluator. After every
-// SyncInterval generations the masters synchronize: each island
-// broadcasts its best Migrants individuals, and every island replaces
-// its worst individuals with the immigrants from its ring neighbor.
-// Periodic migration preserves diversity between syncs while still
-// spreading good solutions — the standard island-model trade-off the
-// paper's sketch implies.
+// with its own seed and its own evaluation backend — an in-process pool
+// by default, or (Config.Backends) one netcluster master per rack for a
+// genuinely distributed run. After every SyncInterval generations the
+// masters synchronize: each island broadcasts its best Migrants
+// individuals, and every island replaces its worst individuals with the
+// immigrants from its ring neighbor. Periodic migration preserves
+// diversity between syncs while still spreading good solutions — the
+// standard island-model trade-off the paper's sketch implies.
+//
+// Islands sit on the evalbackend layer, so they share the fitness memo
+// cache, per-island journal accounting and context cancellation with
+// single-designer runs. Because PIPE scoring is deterministic and every
+// GA draw derives from (seed, generation, slot), a run's per-island
+// trajectories (Result.Curves) are bit-identical across backends and
+// across cache configurations.
 package island
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/evalbackend"
 	"repro/internal/ga"
+	"repro/internal/obs"
 	"repro/internal/seq"
 )
 
@@ -37,8 +50,38 @@ type Config struct {
 	Migrants int
 	// Generations is the total number of generations per island.
 	Generations int
-	// Cluster sizes each island's own worker pool.
+	// Cluster sizes each island's own in-process worker pool. Ignored
+	// when Backends is set.
 	Cluster cluster.Config
+	// Backends, if non-nil, supplies one evaluation backend per island
+	// (len must equal Islands) — e.g. an evalbackend.MasterBackend per
+	// rack for the paper's distributed configuration. Each backend must
+	// be a distinct instance: islands evaluate concurrently, and e.g. a
+	// netcluster.Master serializes rounds. Run layers its middleware
+	// (metrics, shared fitness cache) on top and does NOT close
+	// caller-supplied backends.
+	Backends []evalbackend.Backend
+	// FitnessCache, if non-nil, memoizes evaluations across all islands
+	// (scores are deterministic, so sharing is safe and profitable —
+	// migrants arrive pre-scored). If nil, Run creates one private
+	// shared cache; set DisableFitnessCache to evaluate unconditionally.
+	FitnessCache        *evalbackend.FitnessCache
+	DisableFitnessCache bool
+	// Journals, if non-nil, receives one RunJournal per island (len must
+	// equal Islands; entries may be nil to skip an island). Each island
+	// appends a GenerationRecord per generation; the island model has no
+	// checkpoint/resume path, so no checkpoints are written. Run does
+	// not close the journals.
+	Journals []*obs.RunJournal
+	// Logger, if non-nil, receives run/sync span events and abandoned
+	// task warnings. Metrics, if non-nil, collects StageEval and
+	// StageGeneration timings across all islands.
+	Logger  *obs.Logger
+	Metrics *obs.Registry
+	// OnGeneration, if non-nil, observes each completed generation
+	// barrier with every island's best fitness of that generation —
+	// the per-island learning curves as they form.
+	OnGeneration func(gen int, perIslandBest []float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +108,12 @@ func (c Config) validate(gaParams ga.Params) error {
 		return fmt.Errorf("island: %d migrants exceed population %d",
 			c.Migrants, gaParams.PopulationSize)
 	}
+	if c.Backends != nil && len(c.Backends) != c.Islands {
+		return fmt.Errorf("island: %d backends for %d islands", len(c.Backends), c.Islands)
+	}
+	if c.Journals != nil && len(c.Journals) != c.Islands {
+		return fmt.Errorf("island: %d journals for %d islands", len(c.Journals), c.Islands)
+	}
 	return nil
 }
 
@@ -76,16 +125,40 @@ type Result struct {
 	BestIsland int
 	// PerIsland holds each island's best-ever fitness.
 	PerIsland []float64
+	// Curves[k][g] is island k's best fitness of generation g — the
+	// per-island learning trajectories. Deterministic for a given seed
+	// regardless of backend (in-process pool, netcluster, sharded).
+	Curves [][]float64
 	// Generations executed per island.
 	Generations int
 	// Migrations performed (sync rounds).
 	Migrations int
 }
 
+// islandState is one island's engine plus the per-generation evaluation
+// bookkeeping its fitness closure records.
+type islandState struct {
+	backend evalbackend.Backend
+	engine  *ga.Engine
+
+	evalErr   error
+	popHash   string
+	evaluated int
+	cacheHits int
+	abandoned int
+	evalWall  time.Duration
+	minFit    float64
+	best      core.Detail // decomposition of the generation's fittest
+}
+
 // Run executes the island-model design: the same problem on every
 // island, each with its own derived seed. gaParams.Seed seeds island 0;
-// island k uses Seed + k*7919.
-func Run(problem core.Problem, gaParams ga.Params, cfg Config) (Result, error) {
+// island k uses Seed + k*7919. Islands step their generations in
+// parallel (they are independent between syncs); ctx is observed at
+// every generation barrier and threaded into the backends, so
+// cancellation stops all islands within one generation and returns the
+// partial Result alongside ctx's error.
+func Run(ctx context.Context, problem core.Problem, gaParams ga.Params, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(gaParams); err != nil {
 		return Result{}, err
@@ -93,53 +166,205 @@ func Run(problem core.Problem, gaParams ga.Params, cfg Config) (Result, error) {
 	if problem.Engine == nil {
 		return Result{}, fmt.Errorf("island: nil PIPE engine")
 	}
-	pool, err := cluster.New(problem.Engine, problem.TargetID, problem.NonTargetIDs, cfg.Cluster)
-	if err != nil {
-		return Result{}, err
-	}
-	eval := ga.EvaluatorFunc(func(seqs []seq.Sequence) []float64 {
-		results := pool.EvaluateAll(seqs)
-		fits := make([]float64, len(seqs))
-		for i, r := range results {
-			fits[i] = core.Fitness(r.TargetScore, r.NonTargetScores)
-		}
-		return fits
-	})
+	problemFP := core.ProblemFingerprint(problem.Engine, problem.TargetID, problem.NonTargetIDs)
 
-	engines := make([]*ga.Engine, cfg.Islands)
-	for k := range engines {
+	cache := cfg.FitnessCache
+	if cache == nil && !cfg.DisableFitnessCache {
+		cache = evalbackend.NewFitnessCache(0)
+	}
+	if cfg.DisableFitnessCache {
+		cache = nil
+	}
+
+	islands := make([]*islandState, cfg.Islands)
+	for k := range islands {
+		var leaf evalbackend.Backend
+		if cfg.Backends != nil {
+			leaf = cfg.Backends[k]
+		} else {
+			pb, err := evalbackend.NewPool(problem.Engine, problem.TargetID, problem.NonTargetIDs, cfg.Cluster)
+			if err != nil {
+				return Result{}, err
+			}
+			leaf = pb
+		}
+		st := &islandState{
+			backend: evalbackend.WithFitnessCache(
+				evalbackend.WithMetrics(leaf, cfg.Logger, cfg.Metrics), cache, problemFP),
+		}
 		p := gaParams
 		p.Seed = gaParams.Seed + int64(k)*7919
-		eng, err := ga.New(p, eval)
+		eng, err := ga.New(p, evaluator(ctx, st))
 		if err != nil {
 			return Result{}, err
 		}
 		eng.InitPopulation()
-		engines[k] = eng
+		st.engine = eng
+		islands[k] = st
 	}
 
-	res := Result{PerIsland: make([]float64, cfg.Islands)}
+	res := Result{
+		PerIsland: make([]float64, cfg.Islands),
+		Curves:    make([][]float64, cfg.Islands),
+	}
+	endRun := cfg.Logger.Span("island run",
+		"islands", cfg.Islands, "generations", cfg.Generations,
+		"sync_interval", cfg.SyncInterval, "migrants", cfg.Migrants)
+	finish := func(err error) (Result, error) {
+		for k, st := range islands {
+			best, _ := st.engine.BestEver()
+			res.PerIsland[k] = best.Fitness
+			if best.Fitness > res.Best.Fitness || res.Best.Seq.Len() == 0 {
+				res.Best = best
+				res.BestIsland = k
+			}
+		}
+		endRun("generations", res.Generations, "migrations", res.Migrations,
+			"best_fitness", res.Best.Fitness, "cancelled", err != nil)
+		return res, err
+	}
+
+	stats := make([]ga.Stats, cfg.Islands)
 	for gen := 0; gen < cfg.Generations; gen++ {
-		for _, eng := range engines {
-			eng.Step()
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		genStart := time.Now()
+		// Islands are independent between syncs: step them in parallel,
+		// mirroring one master per rack. Each closure touches only its
+		// own state; the shared cache, registry and logger are
+		// concurrency-safe.
+		var wg sync.WaitGroup
+		for k, st := range islands {
+			wg.Add(1)
+			go func(k int, st *islandState) {
+				defer wg.Done()
+				stats[k] = st.engine.Step()
+			}(k, st)
+		}
+		wg.Wait()
+		for k, st := range islands {
+			if st.evalErr != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return finish(cerr)
+				}
+				return finish(fmt.Errorf("island %d: %w", k, st.evalErr))
+			}
+			res.Curves[k] = append(res.Curves[k], stats[k].Best)
+		}
+		res.Generations = gen + 1
+		cfg.Metrics.Observe(obs.StageGeneration, time.Since(genStart))
+		recordGeneration(cfg, islands, stats, time.Since(genStart))
+		if cfg.OnGeneration != nil {
+			perBest := make([]float64, cfg.Islands)
+			for k := range islands {
+				perBest[k] = stats[k].Best
+			}
+			cfg.OnGeneration(gen, perBest)
 		}
 		if (gen+1)%cfg.SyncInterval == 0 && gen+1 < cfg.Generations {
+			engines := make([]*ga.Engine, cfg.Islands)
+			for k, st := range islands {
+				engines[k] = st.engine
+			}
 			if err := migrate(engines, cfg.Migrants); err != nil {
-				return Result{}, err
+				return finish(err)
 			}
 			res.Migrations++
+			cfg.Logger.Debug("islands synced", "generation", gen+1, "migrations", res.Migrations)
 		}
 	}
-	for k, eng := range engines {
-		best, _ := eng.BestEver()
-		res.PerIsland[k] = best.Fitness
-		if best.Fitness > res.Best.Fitness || res.Best.Seq.Len() == 0 {
-			res.Best = best
-			res.BestIsland = k
+	return finish(nil)
+}
+
+// evaluator builds one island's fitness closure: it hands the
+// generation to the island's backend chain and converts score profiles
+// to fitness, recording the journal accounting on st.
+func evaluator(ctx context.Context, st *islandState) ga.EvaluatorFunc {
+	return func(seqs []seq.Sequence) []float64 {
+		fits := make([]float64, len(seqs))
+		st.popHash = core.PopulationHash(seqs)
+		st.evaluated, st.cacheHits, st.abandoned, st.evalWall = 0, 0, 0, 0
+		pre := st.backend.Stats()
+		results, err := st.backend.EvaluateAll(ctx, seqs)
+		post := st.backend.Stats()
+		st.evaluated = int(post.Tasks - pre.Tasks)
+		st.cacheHits = int(post.CacheHits - pre.CacheHits)
+		st.evalWall = time.Duration(post.EvalWallNS - pre.EvalWallNS)
+		if err == nil && len(results) != len(seqs) {
+			err = fmt.Errorf("backend returned %d results for %d candidates", len(results), len(seqs))
+		}
+		if err != nil {
+			if st.evalErr == nil {
+				st.evalErr = err
+			}
+			return fits
+		}
+		bestIdx, minFit := 0, 0.0
+		var bestDet core.Detail
+		for i, r := range results {
+			if r.Err != nil {
+				st.abandoned++
+				continue
+			}
+			fits[i] = core.Fitness(r.TargetScore, r.NonTargetScores)
+			if fits[i] > fits[bestIdx] || i == 0 {
+				bestIdx = i
+				bestDet = core.Detail{
+					Fitness:      fits[i],
+					Target:       r.TargetScore,
+					MaxNonTarget: core.MaxScore(r.NonTargetScores),
+					AvgNonTarget: core.MeanScore(r.NonTargetScores),
+				}
+			}
+		}
+		for i, f := range fits {
+			if i == 0 || f < minFit {
+				minFit = f
+			}
+		}
+		st.minFit = minFit
+		st.best = bestDet
+		return fits
+	}
+}
+
+// recordGeneration appends one GenerationRecord per journaled island.
+func recordGeneration(cfg Config, islands []*islandState, stats []ga.Stats, genWall time.Duration) {
+	if cfg.Journals == nil {
+		return
+	}
+	for k, st := range islands {
+		j := cfg.Journals[k]
+		if j == nil {
+			continue
+		}
+		rec := obs.GenerationRecord{
+			Generation:      stats[k].Generation,
+			TimeUnixMS:      time.Now().UnixMilli(),
+			BestFitness:     stats[k].Best,
+			MeanFitness:     stats[k].Mean,
+			MinFitness:      st.minFit,
+			Target:          st.best.Target,
+			MaxNonTarget:    st.best.MaxNonTarget,
+			AvgNonTarget:    st.best.AvgNonTarget,
+			BestEverFitness: stats[k].BestEver,
+			NewBest:         stats[k].NewBestFound,
+			PopHash:         st.popHash,
+			Evaluated:       st.evaluated,
+			CacheHits:       st.cacheHits,
+			AbandonedTasks:  st.abandoned,
+			EvalWallMS:      float64(st.evalWall) / float64(time.Millisecond),
+			GenWallMS:       float64(genWall) / float64(time.Millisecond),
+		}
+		if err := j.Append(rec); err != nil {
+			cfg.Logger.Warn("island journal append failed", "island", k, "err", err)
+		}
+		if st.abandoned > 0 {
+			cfg.Logger.Warn("island evaluation tasks abandoned",
+				"island", k, "abandoned", st.abandoned)
 		}
 	}
-	res.Generations = cfg.Generations
-	return res, nil
 }
 
 // migrate implements the master sync: each island broadcasts the best

@@ -1,6 +1,7 @@
 package island
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -56,20 +57,20 @@ func problem(t testing.TB) core.Problem {
 
 func TestRunValidation(t *testing.T) {
 	p := problem(t)
-	if _, err := Run(core.Problem{}, gaParams(10, 1), Config{Generations: 2}); err == nil {
+	if _, err := Run(context.Background(), core.Problem{}, gaParams(10, 1), Config{Generations: 2}); err == nil {
 		t.Error("nil engine accepted")
 	}
-	if _, err := Run(p, gaParams(10, 1), Config{Islands: 1, Generations: 2}); err == nil {
+	if _, err := Run(context.Background(), p, gaParams(10, 1), Config{Islands: 1, Generations: 2}); err == nil {
 		t.Error("single island accepted")
 	}
-	if _, err := Run(p, gaParams(10, 1), Config{Migrants: 10, Generations: 2}); err == nil {
+	if _, err := Run(context.Background(), p, gaParams(10, 1), Config{Migrants: 10, Generations: 2}); err == nil {
 		t.Error("migrants >= population accepted")
 	}
 }
 
 func TestRunBasics(t *testing.T) {
 	p := problem(t)
-	res, err := Run(p, gaParams(12, 1), Config{
+	res, err := Run(context.Background(), p, gaParams(12, 1), Config{
 		Islands:      3,
 		SyncInterval: 2,
 		Migrants:     2,
@@ -110,18 +111,18 @@ func TestRunDeterministic(t *testing.T) {
 	p := problem(t)
 	cfg := Config{Islands: 2, SyncInterval: 2, Migrants: 1, Generations: 4,
 		Cluster: cluster.Config{Workers: 1, ThreadsPerWorker: 1}}
-	a, err := Run(p, gaParams(10, 7), cfg)
+	a, err := Run(context.Background(), p, gaParams(10, 7), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(p, gaParams(10, 7), cfg)
+	b, err := Run(context.Background(), p, gaParams(10, 7), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Best.Fitness != b.Best.Fitness || a.Best.Seq.Residues() != b.Best.Seq.Residues() {
 		t.Error("island run not deterministic under fixed seed")
 	}
-	c, err := Run(p, gaParams(10, 8), cfg)
+	c, err := Run(context.Background(), p, gaParams(10, 8), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestIslandsDivergeWithoutSync(t *testing.T) {
 	// evolve independently: their best fitness values differ (different
 	// seeds explore different regions).
 	p := problem(t)
-	res, err := Run(p, gaParams(10, 3), Config{
+	res, err := Run(context.Background(), p, gaParams(10, 3), Config{
 		Islands:      3,
 		SyncInterval: 1000,
 		Migrants:     1,
@@ -215,7 +216,7 @@ func contains(e *ga.Engine, residues string) bool {
 }
 
 func TestRingMigrationCount(t *testing.T) {
-	res, err := Run(problem(t), gaParams(10, 5), Config{
+	res, err := Run(context.Background(), problem(t), gaParams(10, 5), Config{
 		Islands:      2,
 		SyncInterval: 1,
 		Migrants:     3,

@@ -60,10 +60,15 @@ type GenerationRecord struct {
 	PopHash string `json:"pop_hash"`
 
 	// Cache and evaluation accounting for this generation.
-	Evaluated  int     `json:"evaluated"`  // candidates actually scored (memo misses)
-	CacheHits  int     `json:"cache_hits"` // candidates served from the fitness memo cache
-	EvalWallMS float64 `json:"eval_ms"`    // wall time of the evaluation batch
-	GenWallMS  float64 `json:"gen_ms"`     // wall time of the whole generation
+	Evaluated int `json:"evaluated"`  // candidates actually scored (memo misses)
+	CacheHits int `json:"cache_hits"` // candidates served from the fitness memo cache
+	// AbandonedTasks counts candidates the evaluation backend gave up on
+	// (e.g. netcluster quarantine, failed shard) and that scored zero
+	// fitness this generation; Evaluated + CacheHits + AbandonedTasks
+	// covers the population.
+	AbandonedTasks int     `json:"abandoned,omitempty"`
+	EvalWallMS     float64 `json:"eval_ms"` // wall time of the evaluation batch
+	GenWallMS      float64 `json:"gen_ms"`  // wall time of the whole generation
 
 	// Distributed-evaluation stats, stamped by the run owner when a
 	// netcluster master is the backend (deltas since the previous record).

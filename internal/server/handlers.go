@@ -72,6 +72,10 @@ type DesignRequest struct {
 	WarmStart      *bool   `json:"warm_start,omitempty"`      // default true
 	Workers        int     `json:"workers,omitempty"`         // evaluator workers, default 2
 	Threads        int     `json:"threads,omitempty"`         // threads per worker, default 2
+	// Shards statically partitions each generation over this many
+	// independent evaluation pools (each sized workers×threads).
+	// 0 or 1 evaluates on a single pool. Scores are unaffected.
+	Shards int `json:"shards,omitempty"`
 	// NoFitnessCache disables the service-wide fitness memo cache for
 	// this job (every candidate is re-scored; ablation/debugging knob).
 	NoFitnessCache bool `json:"no_fitness_cache,omitempty"`
@@ -359,6 +363,10 @@ func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
 		},
 		WarmStart:           warm,
 		DisableFitnessCache: req.NoFitnessCache,
+		Shards:              req.Shards,
+	}
+	if spec.Shards < 0 || spec.Shards > maxShards {
+		return designSpec{}, fmt.Errorf("shards %d out of range [0, %d]", spec.Shards, maxShards)
 	}
 	if spec.GA.SeqLen < 2*spec.GA.CrossoverMargin+2 {
 		return designSpec{}, fmt.Errorf("seq_len %d too short: need >= %d",

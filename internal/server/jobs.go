@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/evalbackend"
 	"repro/internal/ga"
 	"repro/internal/obs"
 	"repro/internal/pipe"
@@ -52,7 +53,14 @@ type designSpec struct {
 	WarmStart    bool
 	// DisableFitnessCache opts this job out of the store-wide memo cache.
 	DisableFitnessCache bool
+	// Shards > 1 evaluates each generation over that many independent
+	// in-process pools behind a sharded backend (scores are unaffected).
+	Shards int
 }
+
+// maxShards bounds the per-job evaluation pool fan-out a request may ask
+// for; each shard allocates its own workers×threads pool.
+const maxShards = 16
 
 // job is one asynchronous design campaign. Mutable fields are guarded by
 // mu; the HTTP handlers read snapshots, the owning worker writes.
@@ -350,6 +358,23 @@ func (s *jobStore) run(j *job) {
 			j.curve = append(j.curve, cp)
 			j.mu.Unlock()
 		},
+	}
+	if j.spec.Shards > 1 {
+		shards := make([]evalbackend.Backend, j.spec.Shards)
+		for i := range shards {
+			pb, err := evalbackend.NewPool(engine, j.spec.TargetID, j.spec.NonTargetIDs, jobCluster)
+			if err != nil {
+				finish(JobFailed, nil, err)
+				return
+			}
+			shards[i] = pb
+		}
+		sh, err := evalbackend.NewSharded(shards...)
+		if err != nil {
+			finish(JobFailed, nil, err)
+			return
+		}
+		opts.Backend = sh
 	}
 	if s.obs.journalDir != "" {
 		journal, err := obs.OpenJournal(filepath.Join(s.obs.journalDir, j.id), obs.JournalOptions{

@@ -442,6 +442,8 @@ func TestDesignRequestValidation(t *testing.T) {
 		{Target: "NOPE"}, // unknown target
 		{Target: fixProt.Proteins[0].Name(), SeqLen: 10},                   // too short for crossover
 		{Target: fixProt.Proteins[0].Name(), NonTargets: []string{"NOPE"}}, // unknown non-target
+		{Target: fixProt.Proteins[0].Name(), Shards: -1},                   // negative shard count
+		{Target: fixProt.Proteins[0].Name(), Shards: 99},                   // shard count over the cap
 	}
 	for i, req := range cases {
 		resp, _ := postJSON(t, ts.URL+"/v1/designs", req)
@@ -457,6 +459,37 @@ func TestDesignRequestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestShardedJobMatchesSinglePool: a job asking for sharded evaluation
+// must design exactly the same protein as the default single-pool job —
+// shards are a throughput knob, never a scoring one.
+func TestShardedJobMatchesSinglePool(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, nil)
+	const gens = 3
+
+	plain := tinyDesign(pr.Proteins[0].Name(), gens)
+	ref := waitJob(t, ts, submitJob(t, ts, plain).ID, 60*time.Second, terminal)
+	if ref.State != server.JobDone {
+		t.Fatalf("reference job finished %s (err %q)", ref.State, ref.Error)
+	}
+
+	sharded := plain
+	sharded.Shards = 3
+	got := waitJob(t, ts, submitJob(t, ts, sharded).ID, 60*time.Second, terminal)
+	if got.State != server.JobDone {
+		t.Fatalf("sharded job finished %s (err %q)", got.State, got.Error)
+	}
+	if got.Sequence != ref.Sequence || *got.Best != *ref.Best {
+		t.Fatalf("sharded job diverged:\ngot:  %s %+v\nref:  %s %+v",
+			got.Sequence, got.Best, ref.Sequence, ref.Best)
+	}
+	for g := range ref.Curve {
+		if got.Curve[g] != ref.Curve[g] {
+			t.Fatalf("curve diverges at generation %d: %+v vs %+v", g, got.Curve[g], ref.Curve[g])
+		}
 	}
 }
 
