@@ -110,6 +110,10 @@ func main() {
 		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
 		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
 
+		surrogate   = flag.Bool("surrogate", false, "triage each generation through the online surrogate pre-scorer; only the predicted top candidates get full PIPE evaluations")
+		surrTopK    = flag.Float64("surrogate-topk", 0.10, "fraction of each generation forwarded to real evaluation by predicted fitness (-surrogate mode)")
+		surrExplore = flag.Float64("surrogate-explore", 0.05, "additional fraction evaluated at random as an exploration quota (-surrogate mode)")
+
 		journalDir = flag.String("journal", "", "run-journal directory: append per-generation JSONL records and periodic checkpoints here")
 		resume     = flag.Bool("resume", false, "resume from the checkpoint in the -journal directory instead of starting fresh")
 		ckptEvery  = flag.Int("checkpoint-every", 25, "generations between full population checkpoints (-journal mode; negative disables)")
@@ -260,6 +264,17 @@ func main() {
 	}
 	if *fallback && *listenAddr == "" {
 		log.Fatal("-fallback-local requires -listen (it recovers tasks the TCP cluster abandons)")
+	}
+	if *surrogate {
+		if *islands > 1 {
+			log.Fatal("-surrogate cannot be combined with -islands (each island evaluates independently; the shared model would break island determinism)")
+		}
+		if *surrTopK <= 0 || *surrTopK > 1 || *surrExplore < 0 || *surrExplore > 1 {
+			log.Fatal("-surrogate-topk must be in (0,1] and -surrogate-explore in [0,1]")
+		}
+		opts.Surrogate = &evalbackend.SurrogateConfig{TopK: *surrTopK, Explore: *surrExplore}
+	} else if *surrTopK != 0.10 || *surrExplore != 0.05 {
+		log.Fatal("-surrogate-topk/-surrogate-explore require -surrogate")
 	}
 	localPool := func() evalbackend.Backend {
 		pb, err := evalbackend.NewPool(engine, targetID, ntIDs,

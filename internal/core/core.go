@@ -151,6 +151,16 @@ type Options struct {
 	// before it is appended. It fires even when Journal is nil, so
 	// embedders can stream records without touching disk.
 	OnJournalRecord func(*obs.GenerationRecord)
+	// Surrogate, if non-nil, enables the online surrogate pre-scorer
+	// (package surrogate): a linear model trained on every real
+	// evaluation scores each generation instantly, and only the predicted
+	// top-K fraction plus an exploration quota reach the real backend;
+	// the rest are answered with capped estimates. Installed outermost —
+	// above the fitness memo cache — so estimates are never memoized as
+	// real scores. A zero Seed inherits GA.Seed, and a nil Logger
+	// inherits Options.Logger, keeping surrogate runs reproducible from
+	// the one run seed. Leave nil for the exact pre-surrogate pipeline.
+	Surrogate *evalbackend.SurrogateConfig
 	// FitnessCache, if non-nil, memoizes candidate evaluations across
 	// generations (and across Designers sharing the cache — entries are
 	// keyed by problem fingerprint, so different problems never
@@ -191,12 +201,16 @@ type Designer struct {
 
 	// Per-generation evaluation accounting for the run journal,
 	// refreshed by evaluateAll (derived from backend Stats deltas).
-	genEvaluated int
-	genCacheHits int
-	genAbandoned int
-	genEvalWall  time.Duration
-	genMinFit    float64
-	genPopHash   string
+	genEvaluated   int
+	genCacheHits   int
+	genAbandoned   int
+	genPopulation  int
+	genEstimated   int
+	genSurrTrained int
+	genSurrMAE     float64
+	genEvalWall    time.Duration
+	genMinFit      float64
+	genPopHash     string
 }
 
 // NewDesigner validates the problem and wires the GA to the master/worker
@@ -237,6 +251,16 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 		}
 		d.backend = evalbackend.WithFitnessCache(d.backend, cache, d.problemFP)
 	}
+	if opts.Surrogate != nil {
+		cfg := *opts.Surrogate
+		if cfg.Seed == 0 {
+			cfg.Seed = opts.GA.Seed
+		}
+		if cfg.Logger == nil {
+			cfg.Logger = opts.Logger
+		}
+		d.backend = evalbackend.WithSurrogate(d.backend, cfg)
+	}
 	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
 	if err != nil {
 		return nil, err
@@ -266,7 +290,9 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	fits := make([]float64, len(seqs))
 	d.details = make([]Detail, len(seqs))
 	d.genPopHash = PopulationHash(seqs)
+	d.genPopulation = len(seqs)
 	d.genEvaluated, d.genCacheHits, d.genAbandoned, d.genEvalWall = 0, 0, 0, 0
+	d.genEstimated, d.genSurrTrained, d.genSurrMAE = 0, 0, 0
 	defer func() {
 		min := 0.0
 		for i, f := range fits {
@@ -282,6 +308,12 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	d.genEvaluated = int(post.Tasks - pre.Tasks)
 	d.genCacheHits = int(post.CacheHits - pre.CacheHits)
 	d.genEvalWall = time.Duration(post.EvalWallNS - pre.EvalWallNS)
+	d.genEstimated = int(post.SurrogateEstimated - pre.SurrogateEstimated)
+	d.genSurrTrained = int(post.SurrogateTrained - pre.SurrogateTrained)
+	if post.SurrogateTrained > 0 {
+		// Cumulative prequential MAE of the model so far, in fitness units.
+		d.genSurrMAE = float64(post.SurrogateErrMicro) / 1e6 / float64(post.SurrogateTrained)
+	}
 	if err == nil && len(results) != len(seqs) {
 		err = fmt.Errorf("core: evaluation backend returned %d results for %d candidates", len(results), len(seqs))
 	}
@@ -528,22 +560,26 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 		return
 	}
 	rec := obs.GenerationRecord{
-		Generation:      st.Generation,
-		TimeUnixMS:      time.Now().UnixMilli(),
-		BestFitness:     st.Best,
-		MeanFitness:     st.Mean,
-		MinFitness:      d.genMinFit,
-		Target:          cp.Target,
-		MaxNonTarget:    cp.MaxNonTarget,
-		AvgNonTarget:    cp.AvgNonTarget,
-		BestEverFitness: st.BestEver,
-		NewBest:         st.NewBestFound,
-		PopHash:         d.genPopHash,
-		Evaluated:       d.genEvaluated,
-		CacheHits:       d.genCacheHits,
-		AbandonedTasks:  d.genAbandoned,
-		EvalWallMS:      float64(d.genEvalWall) / float64(time.Millisecond),
-		GenWallMS:       float64(genWall) / float64(time.Millisecond),
+		Generation:         st.Generation,
+		TimeUnixMS:         time.Now().UnixMilli(),
+		BestFitness:        st.Best,
+		MeanFitness:        st.Mean,
+		MinFitness:         d.genMinFit,
+		Target:             cp.Target,
+		MaxNonTarget:       cp.MaxNonTarget,
+		AvgNonTarget:       cp.AvgNonTarget,
+		BestEverFitness:    st.BestEver,
+		NewBest:            st.NewBestFound,
+		PopHash:            d.genPopHash,
+		Evaluated:          d.genEvaluated,
+		CacheHits:          d.genCacheHits,
+		AbandonedTasks:     d.genAbandoned,
+		Population:         d.genPopulation,
+		SurrogateEstimated: d.genEstimated,
+		SurrogateTrained:   d.genSurrTrained,
+		SurrogateMAE:       d.genSurrMAE,
+		EvalWallMS:         float64(d.genEvalWall) / float64(time.Millisecond),
+		GenWallMS:          float64(genWall) / float64(time.Millisecond),
 	}
 	// Checkpoint on cadence and always after the final generation, so a
 	// finished run's directory holds its terminal state.

@@ -317,6 +317,12 @@ func TestJournalRecordsAccounting(t *testing.T) {
 		if rec.Evaluated+rec.CacheHits != 10 {
 			t.Errorf("gen %d: evaluated %d + cache hits %d != population 10", g, rec.Evaluated, rec.CacheHits)
 		}
+		if rec.Population != 10 || rec.AccountedCandidates() != rec.Population {
+			t.Errorf("gen %d: accounted %d of population %d", g, rec.AccountedCandidates(), rec.Population)
+		}
+		if rec.SurrogateEstimated != 0 || rec.SurrogateTrained != 0 || rec.SurrogateMAE != 0 {
+			t.Errorf("gen %d: surrogate-off run carries surrogate accounting: %+v", g, rec)
+		}
 		if rec.BestFitness != res.Curve[g].Fitness {
 			t.Errorf("gen %d: journal best %f != curve %f", g, rec.BestFitness, res.Curve[g].Fitness)
 		}

@@ -78,6 +78,17 @@ type Stats struct {
 	// EvalWallNS is the wall-clock time (nanoseconds) WithMetrics
 	// observed around real evaluation batches.
 	EvalWallNS int64
+	// Surrogate pre-scorer accounting, owned by WithSurrogate.
+	// SurrogateEstimated counts candidates answered with a surrogate
+	// estimate instead of a real evaluation (they never reached the
+	// inner backend); SurrogateTrained counts the unique (sequence,
+	// scores) pairs the online model absorbed; SurrogateErrMicro is the
+	// summed absolute fitness error of the predictions made for trained
+	// pairs, in 1e-6 fitness units (divide by SurrogateTrained for the
+	// mean absolute error).
+	SurrogateEstimated int64
+	SurrogateTrained   int64
+	SurrogateErrMicro  int64
 }
 
 // Add returns the field-wise sum of s and o.
@@ -89,6 +100,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.Retried += o.Retried
 	s.Recovered += o.Recovered
 	s.EvalWallNS += o.EvalWallNS
+	s.SurrogateEstimated += o.SurrogateEstimated
+	s.SurrogateTrained += o.SurrogateTrained
+	s.SurrogateErrMicro += o.SurrogateErrMicro
 	return s
 }
 
@@ -96,17 +110,21 @@ func (s Stats) Add(o Stats) Stats {
 // dimensions it owns.
 type counters struct {
 	rounds, tasks, cacheHits, abandoned, retried, recovered, evalWallNS atomic.Int64
+	surrEstimated, surrTrained, surrErrMicro                            atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Rounds:     c.rounds.Load(),
-		Tasks:      c.tasks.Load(),
-		CacheHits:  c.cacheHits.Load(),
-		Abandoned:  c.abandoned.Load(),
-		Retried:    c.retried.Load(),
-		Recovered:  c.recovered.Load(),
-		EvalWallNS: c.evalWallNS.Load(),
+		Rounds:             c.rounds.Load(),
+		Tasks:              c.tasks.Load(),
+		CacheHits:          c.cacheHits.Load(),
+		Abandoned:          c.abandoned.Load(),
+		Retried:            c.retried.Load(),
+		Recovered:          c.recovered.Load(),
+		EvalWallNS:         c.evalWallNS.Load(),
+		SurrogateEstimated: c.surrEstimated.Load(),
+		SurrogateTrained:   c.surrTrained.Load(),
+		SurrogateErrMicro:  c.surrErrMicro.Load(),
 	}
 }
 

@@ -95,6 +95,41 @@ func TestReplayJournalDistributed(t *testing.T) {
 	}
 }
 
+func TestReplayJournalSurrogate(t *testing.T) {
+	dir := t.TempDir()
+	j, err := obs.OpenJournal(dir, obs.JournalOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 6; g++ {
+		rec := obs.GenerationRecord{
+			Generation:         g,
+			BestFitness:        0.3,
+			BestEverFitness:    0.3,
+			PopHash:            "deadbeefdeadbeef",
+			Population:         40,
+			Evaluated:          6,
+			SurrogateEstimated: 34,
+			SurrogateTrained:   6,
+			SurrogateMAE:       0.05,
+		}
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := ReplayJournal(dir, &out, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "surrogate: 204 of 240 candidates estimated (85.0%), 36 pairs trained, final fitness MAE 0.0500") {
+		t.Errorf("missing surrogate accounting line:\n%s", got)
+	}
+}
+
 func TestReplayJournalErrors(t *testing.T) {
 	if err := ReplayJournal(filepath.Join(t.TempDir(), "nope"), &strings.Builder{}, ""); err == nil {
 		t.Fatal("want error for missing journal")

@@ -23,8 +23,10 @@ func (e *Env) Registry() map[string]func() error {
 		"table4": e.Table4,
 		"table5": e.Table5,
 		// Extra, not part of the paper's exhibit list (excluded from
-		// RunAll): quantitative accuracy ablations.
+		// RunAll): quantitative accuracy ablations and the surrogate
+		// fixed-budget comparison.
 		"ablations": e.Ablations,
+		"surrogate": e.Surrogate,
 	}
 }
 

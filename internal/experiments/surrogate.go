@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/evalbackend"
+	"repro/internal/ga"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// surrogateRun is one side of the fixed-budget comparison.
+type surrogateRun struct {
+	Name        string
+	Best        float64
+	Generations int
+	Evaluated   int // real PIPE evaluations spent
+	Estimated   int // candidates answered by the surrogate
+	MAE         float64
+	Records     []obs.GenerationRecord
+}
+
+// Surrogate compares a surrogate-filtered campaign against the
+// unfiltered baseline at a fixed budget of real PIPE evaluations — the
+// quantitative case for the pre-scorer subsystem. Both runs share the GA
+// seed and buy the same number of full evaluations; the table reports
+// how many extra generations the filter affords and the best fitness
+// each side reaches. Not a paper exhibit (the paper has no surrogate),
+// so it is excluded from RunAll like the ablations.
+func (e *Env) Surrogate() error {
+	pr, eng, err := e.Setup()
+	if err != nil {
+		return err
+	}
+	target := pr.WetlabTargetIDs()[0]
+	pop, baseGens, ntsMax := 64, 25, 8
+	if e.Quick {
+		pop, baseGens = 32, 12
+	}
+	warmup := 3 * pop
+	nts := e.nonTargetsFor(target, ntsMax)
+
+	options := func(maxGens int) core.Options {
+		gp := ga.DefaultParams()
+		gp.PopulationSize = pop
+		gp.SeqLen = 60
+		gp.Seed = 47
+		return core.Options{
+			GA:          gp,
+			WarmStart:   true,
+			Termination: ga.Termination{MinGenerations: maxGens, MaxGenerations: maxGens},
+			// The memo cache would blur the shared eval budget; count
+			// every real PIPE call instead.
+			DisableFitnessCache: true,
+		}
+	}
+
+	budget := baseGens * pop
+	run := func(name string, opts core.Options) (surrogateRun, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		r := surrogateRun{Name: name}
+		opts.OnJournalRecord = func(rec *obs.GenerationRecord) {
+			r.Records = append(r.Records, *rec)
+			r.Evaluated += rec.Evaluated
+			r.Estimated += rec.SurrogateEstimated
+			r.MAE = rec.SurrogateMAE
+			if r.Evaluated >= budget {
+				cancel()
+			}
+		}
+		d, err := core.NewDesigner(core.Problem{Engine: eng, TargetID: target, NonTargetIDs: nts}, opts)
+		if err != nil {
+			return r, err
+		}
+		res, err := d.RunContext(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return r, err
+		}
+		r.Best = res.BestDetail.Fitness
+		r.Generations = len(r.Records)
+		return r, nil
+	}
+
+	base, err := run("baseline", options(baseGens))
+	if err != nil {
+		return err
+	}
+	surrOpts := options(100 * baseGens) // generations bounded by the budget
+	surrOpts.Surrogate = &evalbackend.SurrogateConfig{TopK: 0.10, Explore: 0.05, Warmup: warmup}
+	surr, err := run("surrogate", surrOpts)
+	if err != nil {
+		return err
+	}
+
+	e.printf("Surrogate triage at a fixed budget of %d real PIPE evaluations\n", budget)
+	e.printf("(population %d, warmup %d evaluations, top-K 10%% + 5%% exploration)\n\n", pop, warmup)
+	e.printf("%-10s %12s %12s %12s %14s\n", "run", "generations", "real evals", "estimated", "best fitness")
+	for _, r := range []surrogateRun{base, surr} {
+		e.printf("%-10s %12d %12d %12d %14.4f\n", r.Name, r.Generations, r.Evaluated, r.Estimated, r.Best)
+	}
+	postWarmup := surrogatePostWarmupMeanEvals(surr.Records, pop)
+	cut := 0.0
+	if postWarmup > 0 {
+		cut = float64(pop) / postWarmup
+	}
+	e.printf("\npost-warmup evaluations: %.1f per generation of %d candidates (%.1fx cut)\n",
+		postWarmup, pop, cut)
+	e.printf("surrogate fitness MAE at end of run: %.4f\n", surr.MAE)
+	e.printf("rebuild this table from saved journals with: experiments -from-journal <run dir>\n\n")
+
+	if surr.Best < base.Best {
+		return fmt.Errorf("surrogate: filtered best %.4f below baseline %.4f at equal budget", surr.Best, base.Best)
+	}
+	if cut < 5 {
+		return fmt.Errorf("surrogate: post-warmup cut %.1fx below the promised 5x", cut)
+	}
+
+	var buf []byte
+	for _, r := range []surrogateRun{base, surr} {
+		sBest := stats.Series{Name: r.Name + " best-ever fitness"}
+		sEval := stats.Series{Name: r.Name + " real evaluations"}
+		for _, rec := range r.Records {
+			sBest.Add(float64(rec.Generation), rec.BestEverFitness)
+			sEval.Add(float64(rec.Generation), float64(rec.Evaluated))
+		}
+		buf = appendSeries(buf, sBest)
+		buf = appendSeries(buf, sEval)
+	}
+	return e.saveData("surrogate_budget.dat", string(buf))
+}
+
+// surrogatePostWarmupMeanEvals averages the real evaluations of the
+// generations where filtering was active (identified by a non-zero
+// estimate count, so warmup pass-through rounds are excluded).
+func surrogatePostWarmupMeanEvals(recs []obs.GenerationRecord, pop int) float64 {
+	total, n := 0, 0
+	for _, rec := range recs {
+		if rec.SurrogateEstimated == 0 {
+			continue
+		}
+		total += rec.Evaluated
+		n++
+	}
+	if n == 0 {
+		return float64(pop)
+	}
+	return float64(total) / float64(n)
+}

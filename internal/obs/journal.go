@@ -64,11 +64,28 @@ type GenerationRecord struct {
 	CacheHits int `json:"cache_hits"` // candidates served from the fitness memo cache
 	// AbandonedTasks counts candidates the evaluation backend gave up on
 	// (e.g. netcluster quarantine, failed shard) and that scored zero
-	// fitness this generation; Evaluated + CacheHits + AbandonedTasks
-	// covers the population.
+	// fitness this generation; Evaluated + CacheHits + AbandonedTasks +
+	// SurrogateEstimated covers the population (the last term is zero
+	// unless the surrogate pre-scorer is enabled).
 	AbandonedTasks int     `json:"abandoned,omitempty"`
 	EvalWallMS     float64 `json:"eval_ms"` // wall time of the evaluation batch
 	GenWallMS      float64 `json:"gen_ms"`  // wall time of the whole generation
+
+	// Population is the number of candidates submitted this generation —
+	// the right-hand side of the accounting invariant above. Zero in
+	// records written before the field existed (the invariant is then
+	// unverifiable and Append skips the check).
+	Population int `json:"population,omitempty"`
+
+	// Surrogate pre-scorer accounting (zero/omitted when disabled).
+	// SurrogateEstimated counts candidates answered with a model estimate
+	// instead of a real PIPE evaluation; SurrogateTrained counts the
+	// unique pairs the online model absorbed this generation;
+	// SurrogateMAE is the model's running prequential mean absolute
+	// fitness error at record time.
+	SurrogateEstimated int     `json:"surrogate_estimated,omitempty"`
+	SurrogateTrained   int     `json:"surrogate_trained,omitempty"`
+	SurrogateMAE       float64 `json:"surrogate_mae,omitempty"`
 
 	// Distributed-evaluation stats, stamped by the run owner when a
 	// netcluster master is the backend (deltas since the previous record).
@@ -78,6 +95,15 @@ type GenerationRecord struct {
 
 	// Checkpointed marks records after which a checkpoint was written.
 	Checkpointed bool `json:"checkpointed,omitempty"`
+}
+
+// AccountedCandidates sums the four ways a submitted candidate can be
+// resolved: a real evaluation, a fitness-cache hit, an abandoned task,
+// or a surrogate estimate. When Population is set, this sum must equal
+// it — the journal's conservation law; Append logs a warning on any
+// record that violates it.
+func (r GenerationRecord) AccountedCandidates() int {
+	return r.Evaluated + r.CacheHits + r.AbandonedTasks + r.SurrogateEstimated
 }
 
 // SequenceRecord is a journal-portable protein sequence.
@@ -213,7 +239,18 @@ func (j *RunJournal) Records() int {
 }
 
 // Append writes one record as a JSON line and flushes it to the OS.
+// Records carrying a Population are checked against the candidate
+// conservation invariant (see AccountedCandidates); a violation is
+// logged as a warning — it signals double- or under-counting in the
+// evaluation chain — but the record is still written, so the evidence
+// lands in the journal.
 func (j *RunJournal) Append(rec GenerationRecord) error {
+	if rec.Population > 0 && rec.AccountedCandidates() != rec.Population {
+		j.opts.Logger.Warn("generation accounting invariant violated",
+			"gen", rec.Generation, "population", rec.Population,
+			"evaluated", rec.Evaluated, "cache_hits", rec.CacheHits,
+			"abandoned", rec.AbandonedTasks, "surrogate_estimated", rec.SurrogateEstimated)
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("obs: encoding record: %w", err)

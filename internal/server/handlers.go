@@ -79,6 +79,14 @@ type DesignRequest struct {
 	// NoFitnessCache disables the service-wide fitness memo cache for
 	// this job (every candidate is re-scored; ablation/debugging knob).
 	NoFitnessCache bool `json:"no_fitness_cache,omitempty"`
+	// Surrogate enables the online surrogate pre-scorer: after warmup,
+	// only the predicted top fraction of each generation gets a full PIPE
+	// evaluation. SurrogateTopK (default 0.10, range (0,1]) is that
+	// fraction; SurrogateExplore (default 0.05, range [0,1]) is the extra
+	// random exploration quota. Both require Surrogate.
+	Surrogate        bool    `json:"surrogate,omitempty"`
+	SurrogateTopK    float64 `json:"surrogate_topk,omitempty"`
+	SurrogateExplore float64 `json:"surrogate_explore,omitempty"`
 }
 
 // JobJSON is the observable state of a design job.
@@ -364,9 +372,26 @@ func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
 		WarmStart:           warm,
 		DisableFitnessCache: req.NoFitnessCache,
 		Shards:              req.Shards,
+		Surrogate:           req.Surrogate,
+		SurrogateTopK:       req.SurrogateTopK,
+		SurrogateExplore:    req.SurrogateExplore,
 	}
 	if spec.Shards < 0 || spec.Shards > maxShards {
 		return designSpec{}, fmt.Errorf("shards %d out of range [0, %d]", spec.Shards, maxShards)
+	}
+	if !spec.Surrogate && (req.SurrogateTopK != 0 || req.SurrogateExplore != 0) {
+		return designSpec{}, fmt.Errorf("surrogate_topk/surrogate_explore require surrogate")
+	}
+	if spec.Surrogate {
+		if spec.SurrogateTopK == 0 {
+			spec.SurrogateTopK = 0.10
+		}
+		if spec.SurrogateExplore == 0 {
+			spec.SurrogateExplore = 0.05
+		}
+		if spec.SurrogateTopK < 0 || spec.SurrogateTopK > 1 || spec.SurrogateExplore < 0 || spec.SurrogateExplore > 1 {
+			return designSpec{}, fmt.Errorf("surrogate_topk must be in (0,1] and surrogate_explore in [0,1]")
+		}
 	}
 	if spec.GA.SeqLen < 2*spec.GA.CrossoverMargin+2 {
 		return designSpec{}, fmt.Errorf("seq_len %d too short: need >= %d",

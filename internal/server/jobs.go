@@ -56,6 +56,13 @@ type designSpec struct {
 	// Shards > 1 evaluates each generation over that many independent
 	// in-process pools behind a sharded backend (scores are unaffected).
 	Shards int
+	// Surrogate enables the online surrogate pre-scorer for this job:
+	// after warmup, only the predicted top SurrogateTopK fraction of each
+	// generation (plus a SurrogateExplore exploration quota) gets a full
+	// PIPE evaluation; the rest are answered with capped model estimates.
+	Surrogate        bool
+	SurrogateTopK    float64
+	SurrogateExplore float64
 }
 
 // maxShards bounds the per-job evaluation pool fan-out a request may ask
@@ -352,12 +359,22 @@ func (s *jobStore) run(j *job) {
 		Metrics:             s.obs.stages,
 		OnJournalRecord: func(rec *obs.GenerationRecord) {
 			j.appendProgress(*rec, s.obs.progressBuffer)
+			s.metrics.surrogateEstimated.Add(int64(rec.SurrogateEstimated))
+			s.metrics.surrogateTrained.Add(int64(rec.SurrogateTrained))
 		},
 		OnGeneration: func(cp core.CurvePoint) {
 			j.mu.Lock()
 			j.curve = append(j.curve, cp)
 			j.mu.Unlock()
 		},
+	}
+	if j.spec.Surrogate {
+		// Seeded from the job's GA seed (via core's zero-Seed default), so
+		// a resubmitted spec reproduces the same filtering decisions.
+		opts.Surrogate = &evalbackend.SurrogateConfig{
+			TopK:    j.spec.SurrogateTopK,
+			Explore: j.spec.SurrogateExplore,
+		}
 	}
 	if j.spec.Shards > 1 {
 		shards := make([]evalbackend.Backend, j.spec.Shards)

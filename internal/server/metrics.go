@@ -24,6 +24,11 @@ type metrics struct {
 	jobsAccepted atomic.Int64
 	jobsRejected atomic.Int64 // queue-full 429s
 
+	// Surrogate pre-scorer activity across all jobs, accumulated from
+	// the per-generation journal stream.
+	surrogateEstimated atomic.Int64
+	surrogateTrained   atomic.Int64
+
 	mu     sync.Mutex
 	routes map[string]*routeStats
 }
@@ -133,6 +138,11 @@ func (m *metrics) render(w http.ResponseWriter, g gauges) {
 	p("insipsd_fitness_cache_misses_total %d", g.Fitness.Misses)
 	p("# HELP insipsd_fitness_cache_entries Memoized evaluations resident in the cache.")
 	p("insipsd_fitness_cache_entries %d", g.Fitness.Entries)
+
+	p("# HELP insipsd_surrogate_estimated_total Candidates answered with a surrogate estimate instead of a full PIPE evaluation.")
+	p("insipsd_surrogate_estimated_total %d", m.surrogateEstimated.Load())
+	p("# HELP insipsd_surrogate_trained_total Real evaluations absorbed by the online surrogate model.")
+	p("insipsd_surrogate_trained_total %d", m.surrogateTrained.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))

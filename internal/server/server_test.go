@@ -440,10 +440,13 @@ func TestDesignRequestValidation(t *testing.T) {
 	cases := []server.DesignRequest{
 		{},               // no target
 		{Target: "NOPE"}, // unknown target
-		{Target: fixProt.Proteins[0].Name(), SeqLen: 10},                   // too short for crossover
-		{Target: fixProt.Proteins[0].Name(), NonTargets: []string{"NOPE"}}, // unknown non-target
-		{Target: fixProt.Proteins[0].Name(), Shards: -1},                   // negative shard count
-		{Target: fixProt.Proteins[0].Name(), Shards: 99},                   // shard count over the cap
+		{Target: fixProt.Proteins[0].Name(), SeqLen: 10},                           // too short for crossover
+		{Target: fixProt.Proteins[0].Name(), NonTargets: []string{"NOPE"}},         // unknown non-target
+		{Target: fixProt.Proteins[0].Name(), Shards: -1},                           // negative shard count
+		{Target: fixProt.Proteins[0].Name(), Shards: 99},                           // shard count over the cap
+		{Target: fixProt.Proteins[0].Name(), SurrogateTopK: 0.5},                   // surrogate knob without surrogate
+		{Target: fixProt.Proteins[0].Name(), Surrogate: true, SurrogateTopK: 1.5},  // top-k over 1
+		{Target: fixProt.Proteins[0].Name(), Surrogate: true, SurrogateExplore: 2}, // explore over 1
 	}
 	for i, req := range cases {
 		resp, _ := postJSON(t, ts.URL+"/v1/designs", req)
@@ -562,5 +565,57 @@ func TestExtraMetricsExposesNetclusterStats(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+// TestSurrogateJobRunsAndExportsMetrics: a job with the surrogate
+// pre-scorer enabled must finish, its progress stream must obey the
+// four-term accounting invariant with a non-zero estimated count once
+// the model has warmed up, and the service /metrics page must expose
+// the aggregated surrogate counters.
+func TestSurrogateJobRunsAndExportsMetrics(t *testing.T) {
+	pr, _ := fixture(t)
+	_, ts := newTestServer(t, nil)
+	req := tinyDesign(pr.Proteins[0].Name(), 20)
+	req.Population = 16
+	req.MinGenerations = 20
+	req.Surrogate = true
+	req.SurrogateTopK = 0.25
+	req.SurrogateExplore = 0.1
+	job := waitJob(t, ts, submitJob(t, ts, req).ID, 120*time.Second, terminal)
+	if job.State != server.JobDone {
+		t.Fatalf("surrogate job finished %s (err %q)", job.State, job.Error)
+	}
+
+	var prog server.ProgressJSON
+	getJSON(t, ts.URL+"/v1/designs/"+job.ID+"/progress?n=100", &prog)
+	estimated := 0
+	for _, rec := range prog.Records {
+		if rec.AccountedCandidates() != rec.Population {
+			t.Errorf("gen %d: accounted %d of population %d", rec.Generation, rec.AccountedCandidates(), rec.Population)
+		}
+		estimated += rec.SurrogateEstimated
+	}
+	if estimated == 0 {
+		t.Error("surrogate never produced an estimate over 20 generations (warmup should have completed)")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{"insipsd_surrogate_estimated_total", "insipsd_surrogate_trained_total"} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	if strings.Contains(text, "insipsd_surrogate_estimated_total 0\n") {
+		t.Error("insipsd_surrogate_estimated_total still zero after a surrogate job")
 	}
 }

@@ -1,0 +1,79 @@
+package surrogate
+
+// Extractor converts a residue string into a fixed-length dense feature
+// vector. The layout is
+//
+//	[0]                       bias (always 1)
+//	[1 .. classes^K]          reduced-alphabet k-mer frequencies,
+//	                          normalized by the window count
+//	[1+classes^K .. end]      Bins x classes positional class occupancy,
+//	                          normalized by sequence length
+//
+// All features lie in [0, 1], which keeps SGD well-conditioned without a
+// separate scaling pass. Extraction is allocation-free when the caller
+// supplies a destination slice of Dim() length.
+type Extractor struct {
+	cfg     FeatureConfig
+	kmerDim int
+	dim     int
+}
+
+// NewExtractor builds an extractor for the given configuration.
+func NewExtractor(cfg FeatureConfig) *Extractor {
+	cfg = cfg.withDefaults()
+	kmerDim := 1
+	for i := 0; i < cfg.K; i++ {
+		kmerDim *= cfg.Alphabet.Classes()
+	}
+	return &Extractor{
+		cfg:     cfg,
+		kmerDim: kmerDim,
+		dim:     1 + kmerDim + cfg.Bins*cfg.Alphabet.Classes(),
+	}
+}
+
+// Dim returns the feature-vector length.
+func (e *Extractor) Dim() int { return e.dim }
+
+// Extract fills dst (grown if needed) with the features of residues and
+// returns it. Residues outside the 20-letter alphabet contribute
+// nothing; an empty sequence yields the bias-only vector.
+func (e *Extractor) Extract(residues string, dst []float64) []float64 {
+	if cap(dst) < e.dim {
+		dst = make([]float64, e.dim)
+	}
+	dst = dst[:e.dim]
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[0] = 1
+	n := len(residues)
+	ab := e.cfg.Alphabet
+
+	windows := n - e.cfg.K + 1
+	if windows > 0 {
+		inc := 1 / float64(windows)
+		for p := 0; p < windows; p++ {
+			key, ok := ab.ReduceKmer(residues, p, e.cfg.K)
+			if !ok {
+				continue
+			}
+			dst[1+int(key)] += inc
+		}
+	}
+
+	if n > 0 {
+		base := 1 + e.kmerDim
+		classes := ab.Classes()
+		inc := 1 / float64(n)
+		for i := 0; i < n; i++ {
+			c := ab.ClassOf(residues[i])
+			if c == 255 {
+				continue
+			}
+			bin := i * e.cfg.Bins / n
+			dst[base+bin*classes+int(c)] += inc
+		}
+	}
+	return dst
+}

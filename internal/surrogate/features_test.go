@@ -1,0 +1,103 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestExtractorLayoutAndNormalization(t *testing.T) {
+	ex := NewExtractor(FeatureConfig{})
+	classes := seq.Dayhoff6().Classes()
+	wantDim := 1 + classes*classes + 8*classes
+	if ex.Dim() != wantDim {
+		t.Fatalf("dim = %d, want %d", ex.Dim(), wantDim)
+	}
+	s := seq.Random(rand.New(rand.NewSource(1)), "q", 120, seq.YeastComposition())
+	x := ex.Extract(s.Residues(), nil)
+	if len(x) != wantDim {
+		t.Fatalf("vector length %d, want %d", len(x), wantDim)
+	}
+	if x[0] != 1 {
+		t.Fatalf("bias = %v, want 1", x[0])
+	}
+	// Each block's frequencies sum to ~1 (k-mer windows and positional
+	// occupancy are both normalized counts over valid residues).
+	kmerSum, posSum := 0.0, 0.0
+	for i := 1; i <= classes*classes; i++ {
+		kmerSum += x[i]
+	}
+	for i := 1 + classes*classes; i < len(x); i++ {
+		posSum += x[i]
+	}
+	if math.Abs(kmerSum-1) > 1e-9 || math.Abs(posSum-1) > 1e-9 {
+		t.Fatalf("block sums: kmer %v, positional %v, want 1", kmerSum, posSum)
+	}
+	for i, v := range x {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %d = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestExtractorDeterministicAndReusesBuffer(t *testing.T) {
+	ex := NewExtractor(FeatureConfig{})
+	s := seq.Random(rand.New(rand.NewSource(2)), "q", 90, seq.YeastComposition())
+	a := ex.Extract(s.Residues(), nil)
+	b := ex.Extract(s.Residues(), make([]float64, ex.Dim()))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The buffer is reset between calls: extracting a different sequence
+	// into the same slice must not leak the previous counts.
+	other := seq.Random(rand.New(rand.NewSource(3)), "q", 90, seq.YeastComposition())
+	c := ex.Extract(other.Residues(), b)
+	fresh := ex.Extract(other.Residues(), nil)
+	for i := range c {
+		if c[i] != fresh[i] {
+			t.Fatalf("reused buffer leaked at feature %d: %v vs %v", i, c[i], fresh[i])
+		}
+	}
+}
+
+func TestExtractorDistinguishesComposition(t *testing.T) {
+	ex := NewExtractor(FeatureConfig{})
+	a := ex.Extract("AAAAAAAAAAAAAAAA", nil)
+	b := ex.Extract("WWWWWWWWWWWWWWWW", nil)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("poly-A and poly-W produced identical features")
+	}
+}
+
+func TestExtractorEmptyAndShortSequences(t *testing.T) {
+	ex := NewExtractor(FeatureConfig{})
+	x := ex.Extract("", nil)
+	for i, v := range x {
+		if i == 0 && v != 1 {
+			t.Fatalf("bias = %v", v)
+		}
+		if i > 0 && v != 0 {
+			t.Fatalf("empty sequence set feature %d = %v", i, v)
+		}
+	}
+	// One residue: no 2-mer windows, positional block still populated.
+	x = ex.Extract("A", nil)
+	sum := 0.0
+	for _, v := range x[1:] {
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("single residue: non-bias sum %v, want 1 (positional only)", sum)
+	}
+}

@@ -1,0 +1,184 @@
+package surrogate
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Prediction is the surrogate's estimate of one candidate's PIPE score
+// decomposition, each head clamped to the score domain [0, 1].
+type Prediction struct {
+	Target       float64
+	MaxNonTarget float64
+	AvgNonTarget float64
+	// Fitness is the InSiPS fitness implied by the head estimates:
+	// (1 - MaxNonTarget) * Target.
+	Fitness float64
+}
+
+// Calibration is the model's online self-assessment: how many pairs it
+// has absorbed and how far its predictions currently run from reality.
+// Errors are prequential — each prediction is scored against the true
+// value *before* the model trains on it — so they measure generalization
+// on unseen candidates, not memorization.
+type Calibration struct {
+	// Observations is the number of unique (sequence, scores) pairs
+	// trained on.
+	Observations int64
+	// FitnessMAE is the exponentially weighted mean absolute error of
+	// the fitness estimate; TargetMAE likewise for the target-score head.
+	FitnessMAE float64
+	TargetMAE  float64
+}
+
+// Model is the online three-head linear regressor. All methods are safe
+// for concurrent use; updates are serialized by an internal mutex.
+type Model struct {
+	cfg ModelConfig
+	ext *Extractor
+
+	mu       sync.Mutex
+	wTarget  []float64
+	wMaxNT   []float64
+	wAvgNT   []float64
+	obs      int64
+	seen     map[uint64]struct{}
+	fitMAE   float64
+	tgtMAE   float64
+	calibObs int64
+	scratch  []float64
+}
+
+// NewModel builds an untrained model (every prediction starts at zero).
+func NewModel(cfg ModelConfig) *Model {
+	cfg = cfg.withDefaults()
+	ext := NewExtractor(cfg.Features)
+	m := &Model{
+		cfg:     cfg,
+		ext:     ext,
+		wTarget: make([]float64, ext.Dim()),
+		wMaxNT:  make([]float64, ext.Dim()),
+		wAvgNT:  make([]float64, ext.Dim()),
+	}
+	if cfg.DedupCapacity > 0 {
+		m.seen = make(map[uint64]struct{})
+	}
+	return m
+}
+
+// Extractor returns the model's feature extractor (shared, read-only).
+func (m *Model) Extractor() *Extractor { return m.ext }
+
+// Observations returns the number of unique pairs trained on.
+func (m *Model) Observations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.obs
+}
+
+// Calibration returns the current error trackers.
+func (m *Model) Calibration() Calibration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Calibration{Observations: m.obs, FitnessMAE: m.fitMAE, TargetMAE: m.tgtMAE}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += w[i] * v
+	}
+	return s
+}
+
+// predictLocked computes the clamped head estimates for a feature vector.
+func (m *Model) predictLocked(x []float64) Prediction {
+	p := Prediction{
+		Target:       clamp01(dot(m.wTarget, x)),
+		MaxNonTarget: clamp01(dot(m.wMaxNT, x)),
+		AvgNonTarget: clamp01(dot(m.wAvgNT, x)),
+	}
+	if p.AvgNonTarget > p.MaxNonTarget {
+		p.AvgNonTarget = p.MaxNonTarget
+	}
+	p.Fitness = (1 - p.MaxNonTarget) * p.Target
+	return p
+}
+
+// Predict estimates the score decomposition of one candidate.
+func (m *Model) Predict(residues string) Prediction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scratch = m.ext.Extract(residues, m.scratch)
+	return m.predictLocked(m.scratch)
+}
+
+// seqKey fingerprints a sequence for training deduplication.
+func seqKey(residues string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(residues))
+	return h.Sum64()
+}
+
+// Observe feeds one real evaluation into the model: it scores the
+// current prediction against the truth (calibration), then performs one
+// ridge-SGD step on each head. A sequence already trained on is skipped
+// (trained=false) so memo-cache hits and re-submitted candidates never
+// double-count. The update is deterministic: no randomness, state
+// depends only on the observation order.
+func (m *Model) Observe(residues string, target, maxNT, avgNT float64) (trained bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen != nil {
+		key := seqKey(residues)
+		if _, dup := m.seen[key]; dup {
+			return false
+		}
+		if len(m.seen) >= m.cfg.DedupCapacity {
+			m.seen = make(map[uint64]struct{})
+		}
+		m.seen[key] = struct{}{}
+	}
+	m.scratch = m.ext.Extract(residues, m.scratch)
+	x := m.scratch
+
+	// Prequential calibration: judge the pre-update prediction.
+	pred := m.predictLocked(x)
+	trueFit := (1 - maxNT) * target
+	d := m.cfg.ErrorDecay
+	m.fitMAE += d * (abs(pred.Fitness-trueFit) - m.fitMAE)
+	m.tgtMAE += d * (abs(pred.Target-target) - m.tgtMAE)
+
+	m.step(m.wTarget, x, target)
+	m.step(m.wMaxNT, x, maxNT)
+	m.step(m.wAvgNT, x, avgNT)
+	m.obs++
+	return true
+}
+
+// step is one ridge-regularized SGD update of a head.
+func (m *Model) step(w, x []float64, y float64) {
+	yhat := dot(w, x)
+	g := m.cfg.LearningRate * (y - yhat)
+	decay := 1 - m.cfg.LearningRate*m.cfg.L2
+	for i, v := range x {
+		w[i] = w[i]*decay + g*v
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,133 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// plantedTarget is a synthetic ground truth the linear model can
+// represent: the fraction of residues in the aromatic Dayhoff class
+// ("FWY"), a pure function of the positional-occupancy features.
+func plantedTarget(residues string) float64 {
+	ab := seq.Dayhoff6()
+	aromatic := ab.ClassOf('F')
+	n := 0
+	for i := 0; i < len(residues); i++ {
+		if ab.ClassOf(residues[i]) == aromatic {
+			n++
+		}
+	}
+	if len(residues) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(residues))
+}
+
+func trainSet(n int, seed int64) []seq.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]seq.Sequence, n)
+	for i := range out {
+		out[i] = seq.Random(rng, "t", 120, seq.YeastComposition())
+	}
+	return out
+}
+
+func TestModelLearnsPlantedFunction(t *testing.T) {
+	m := NewModel(ModelConfig{})
+	train := trainSet(600, 1)
+	test := trainSet(60, 2)
+
+	// Untrained baseline error on the held-out set.
+	before := 0.0
+	for _, s := range test {
+		before += math.Abs(m.Predict(s.Residues()).Target - plantedTarget(s.Residues()))
+	}
+	before /= float64(len(test))
+
+	for _, s := range train {
+		y := plantedTarget(s.Residues())
+		if !m.Observe(s.Residues(), y, 0, 0) {
+			t.Fatalf("fresh sequence %q not trained", s.Name())
+		}
+	}
+	after := 0.0
+	for _, s := range test {
+		after += math.Abs(m.Predict(s.Residues()).Target - plantedTarget(s.Residues()))
+	}
+	after /= float64(len(test))
+
+	if after >= before/2 {
+		t.Fatalf("held-out MAE %0.4f did not halve from untrained %0.4f", after, before)
+	}
+	if after > 0.05 {
+		t.Fatalf("held-out MAE %0.4f too high for a representable function", after)
+	}
+	cal := m.Calibration()
+	if cal.Observations != int64(len(train)) {
+		t.Fatalf("observations = %d, want %d", cal.Observations, len(train))
+	}
+	if cal.TargetMAE <= 0 || cal.TargetMAE > 0.2 {
+		t.Fatalf("calibration TargetMAE %0.4f implausible", cal.TargetMAE)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	a, b := NewModel(ModelConfig{}), NewModel(ModelConfig{})
+	for _, s := range trainSet(200, 3) {
+		y := plantedTarget(s.Residues())
+		a.Observe(s.Residues(), y, y/2, y/3)
+		b.Observe(s.Residues(), y, y/2, y/3)
+	}
+	for _, s := range trainSet(20, 4) {
+		pa, pb := a.Predict(s.Residues()), b.Predict(s.Residues())
+		if pa != pb {
+			t.Fatalf("same training stream diverged: %+v vs %+v", pa, pb)
+		}
+	}
+}
+
+func TestModelDedupSkipsRepeats(t *testing.T) {
+	m := NewModel(ModelConfig{})
+	s := trainSet(1, 5)[0]
+	if !m.Observe(s.Residues(), 0.5, 0.1, 0.05) {
+		t.Fatal("first observation skipped")
+	}
+	if m.Observe(s.Residues(), 0.9, 0.9, 0.9) {
+		t.Fatal("duplicate observation trained")
+	}
+	if m.Observations() != 1 {
+		t.Fatalf("observations = %d, want 1", m.Observations())
+	}
+}
+
+func TestModelDedupDisabled(t *testing.T) {
+	m := NewModel(ModelConfig{DedupCapacity: -1})
+	s := trainSet(1, 6)[0]
+	for i := 0; i < 3; i++ {
+		if !m.Observe(s.Residues(), 0.5, 0.1, 0.05) {
+			t.Fatal("dedup-disabled model skipped an observation")
+		}
+	}
+	if m.Observations() != 3 {
+		t.Fatalf("observations = %d, want 3", m.Observations())
+	}
+}
+
+func TestModelPredictionsClamped(t *testing.T) {
+	m := NewModel(ModelConfig{LearningRate: 5}) // destabilizing step size
+	for _, s := range trainSet(50, 7) {
+		m.Observe(s.Residues(), 1, 1, 1)
+	}
+	p := m.Predict(trainSet(1, 8)[0].Residues())
+	for _, v := range []float64{p.Target, p.MaxNonTarget, p.AvgNonTarget, p.Fitness} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("prediction outside [0,1]: %+v", p)
+		}
+	}
+	if p.AvgNonTarget > p.MaxNonTarget {
+		t.Fatalf("avg %v exceeds max %v", p.AvgNonTarget, p.MaxNonTarget)
+	}
+}

@@ -1,0 +1,97 @@
+// Package surrogate is an online-trained machine-learned pre-scorer for
+// candidate protein sequences: a cheap stand-in for the full PIPE
+// fitness evaluation that a genetic-algorithm loop can consult to decide
+// which candidates deserve a real evaluation.
+//
+// The paper's InSiPS spends essentially all of its wall-clock on PIPE
+// evaluations (Section 3: one generation of 1000 candidates is the unit
+// the whole Blue Gene/Q deployment is sized around), yet most candidates
+// in a mature generation are nowhere near the elite. The surrogate
+// literature on deep-learning-guided evolutionary protein design shows
+// that a regressor trained on the (sequence -> fitness) pairs the run
+// itself produces can triage those candidates at negligible cost while
+// preserving best-fitness trajectories. This package is the pure-Go,
+// deterministic version of that idea:
+//
+//   - Extractor maps a sequence onto a fixed-length feature vector:
+//     reduced-alphabet k-mer composition (package seq's Dayhoff6 by
+//     default, so conservative substitutions share features) plus
+//     coarse positional class-occupancy bins, plus a bias term.
+//   - Model is a three-head linear regressor (target score, max
+//     non-target, avg non-target — the decomposition behind the InSiPS
+//     fitness (1-maxNT)*target) trained by ridge-regularized SGD, one
+//     incremental update per observed evaluation. Training is
+//     deduplicated by sequence, so re-observing a memo-cache hit never
+//     double-counts a pair.
+//   - Calibration tracks the model's prequential error (prediction made
+//     before each training update), giving callers an honest, online
+//     estimate of how much to trust the surrogate right now.
+//
+// Everything is deterministic: the model holds no RNG, updates depend
+// only on the observation order, and two runs feeding identical pairs in
+// identical order hold bit-identical weights. The evalbackend package
+// layers this model into the evaluation chain as WithSurrogate.
+package surrogate
+
+import "repro/internal/seq"
+
+// FeatureConfig shapes the feature space.
+type FeatureConfig struct {
+	// Alphabet is the reduced alphabet features are keyed on; nil means
+	// seq.Dayhoff6 (6 classes — small enough that the k-mer space stays
+	// dense at GA population scales).
+	Alphabet *seq.ReducedAlphabet
+	// K is the k-mer length of the composition block. Default 2.
+	K int
+	// Bins is the number of equal-width positional bins of the
+	// class-occupancy block. Default 8.
+	Bins int
+}
+
+func (c FeatureConfig) withDefaults() FeatureConfig {
+	if c.Alphabet == nil {
+		c.Alphabet = seq.Dayhoff6()
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.Bins <= 0 {
+		c.Bins = 8
+	}
+	return c
+}
+
+// ModelConfig tunes the online regressor.
+type ModelConfig struct {
+	Features FeatureConfig
+	// LearningRate is the SGD step size. Default 0.1.
+	LearningRate float64
+	// L2 is the ridge weight-decay coefficient. Default 1e-4.
+	L2 float64
+	// ErrorDecay is the EWMA coefficient of the calibration error
+	// trackers (the weight of the newest observation). Default 0.02,
+	// roughly a 50-observation memory.
+	ErrorDecay float64
+	// DedupCapacity bounds the trained-sequence fingerprint set used to
+	// skip duplicate observations; when the set reaches capacity it is
+	// cleared (old sequences may train once more). 0 means the default
+	// (1<<20); negative disables deduplication entirely (benchmarks).
+	DedupCapacity int
+}
+
+func (c ModelConfig) withDefaults() ModelConfig {
+	c.Features = c.Features.withDefaults()
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+	if c.ErrorDecay <= 0 {
+		c.ErrorDecay = 0.02
+	}
+	if c.DedupCapacity == 0 {
+		c.DedupCapacity = 1 << 20
+	}
+	return c
+}
