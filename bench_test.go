@@ -386,6 +386,58 @@ func BenchmarkBackendDispatch(b *testing.B) {
 	})
 }
 
+// BenchmarkElasticDispatch measures the elastic-dispatch chain end to
+// end: a two-shard work-stealing composite versus the same composite
+// behind the hedging and retry middleware. The delta is what straggler
+// insurance costs on a healthy fleet — scores stay identical.
+func BenchmarkElasticDispatch(b *testing.B) {
+	pr, eng := benchSetup(b)
+	rng := rand.New(rand.NewSource(3))
+	var seqs []seq.Sequence
+	for i := 0; i < 16; i++ {
+		d := yeastgen.Difficulty(i % int(yeastgen.NumDifficulties))
+		seqs = append(seqs, pr.DifficultySequence(rng, d, 160))
+	}
+	newSharded := func(b *testing.B) *evalbackend.Sharded {
+		shards := make([]evalbackend.Backend, 2)
+		for k := range shards {
+			pb, err := evalbackend.NewPool(eng, 0, []int{1, 2, 3}, cluster.Config{Workers: 1, ThreadsPerWorker: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards[k] = pb
+		}
+		sh, err := evalbackend.NewSharded(shards...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sh
+	}
+	b.Run("work-stealing", func(b *testing.B) {
+		sh := newSharded(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sh.EvaluateAll(context.Background(), seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hedged-retry", func(b *testing.B) {
+		sh := newSharded(b)
+		spare, err := evalbackend.NewPool(eng, 0, []int{1, 2, 3}, cluster.Config{Workers: 1, ThreadsPerWorker: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain := evalbackend.WithRetry(evalbackend.WithHedging(sh, spare, evalbackend.HedgingConfig{}, nil), spare, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := chain.EvaluateAll(context.Background(), seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchSurrogatePool builds the rotating candidate pool the surrogate
 // benchmarks score: production-length random sequences with yeast
 // composition, plus synthetic score labels derived from a second RNG.

@@ -34,7 +34,7 @@ import (
 
 const (
 	benchFile  = "BENCH_PIPE.json"
-	benchRegex = "PIPEScore$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|SurrogatePredict|SurrogateTrain"
+	benchRegex = "PIPEScore$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|ElasticDispatch|SurrogatePredict|SurrogateTrain"
 	gateBench  = "BenchmarkPIPEScore"
 )
 

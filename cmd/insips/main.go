@@ -105,7 +105,7 @@ func main() {
 		warm     = flag.Bool("warm-start", true, "seed the population with natural-fragment chimeras")
 		workers  = flag.Int("workers", 2, "worker processes")
 		threads  = flag.Int("threads", 2, "threads per worker")
-		shards   = flag.Int("shards", 0, "statically shard evaluation over this many in-process pools (0/1 = one pool)")
+		shards   = flag.Int("shards", 1, "shard evaluation over this many work-stealing in-process pools (1 = one pool)")
 		islands  = flag.Int("islands", 0, "run the multi-rack island model with this many masters (0 = single master)")
 		syncIv   = flag.Int("sync-interval", 1, "island mode: generations between master syncs")
 		progress = flag.Int("progress", 25, "print progress every N generations (0 = quiet)")
@@ -128,7 +128,11 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "liveness ping interval, broadcast to workers (0 = derived from -lease)")
 		backoffMin  = flag.Duration("backoff-min", 100*time.Millisecond, "worker reconnect backoff floor (-worker mode)")
 		backoffMax  = flag.Duration("backoff-max", 10*time.Second, "worker reconnect backoff ceiling (-worker mode)")
-		fallback    = flag.Bool("fallback-local", false, "re-evaluate tasks the cluster abandons on a local pool (-listen mode)")
+		fallback    = flag.Bool("fallback-local", false, "re-evaluate abandoned tasks on a local pool (-listen mode, or -shards > 1)")
+		minLive     = flag.Int("min-live-workers", 0, "hold dispatch while fewer workers are connected (-listen mode; 0 = no gate)")
+		hedge       = flag.Bool("hedge", false, "duplicate the tail of each straggling round onto a local pool; first result wins (-listen mode)")
+		hedgeFrac   = flag.Float64("hedge-fraction", 0.10, "fraction of each round eligible for hedged duplicates (-hedge mode)")
+		hedgePct    = flag.Float64("hedge-percentile", 0.90, "observed round-latency percentile that arms the hedge (-hedge mode)")
 	)
 	flag.Parse()
 
@@ -151,14 +155,27 @@ func main() {
 		}
 		// Workers are data-free: the master broadcasts the proteome and
 		// interaction network, and the engine is rebuilt (or reused, on
-		// reconnect) from that. The loop survives master restarts; stop
-		// with SIGINT/SIGTERM.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
-		log.Printf("worker: serving master at %s (interrupt to stop)", *workerAddr)
+		// reconnect) from that. The loop survives master restarts. The
+		// first SIGINT/SIGTERM drains gracefully — the current task is
+		// finished and delivered, no attempt is burned — and a second
+		// hard-stops.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		drain := make(chan struct{})
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			log.Printf("worker: draining — finishing the current task (interrupt again to stop now)")
+			close(drain)
+			<-sig
+			cancel()
+		}()
+		log.Printf("worker: serving master at %s (interrupt to drain)", *workerAddr)
 		n, _ := netcluster.RunWorkerLoop(ctx, *workerAddr, netcluster.WorkerOptions{
 			ReconnectMin: *backoffMin,
 			ReconnectMax: *backoffMax,
+			Drain:        drain,
 			Logf:         log.Printf,
 			Logger:       logger,
 		})
@@ -167,6 +184,32 @@ func main() {
 	}
 	if *targetName == "" {
 		log.Fatal("need -target NAME")
+	}
+	// Flag sanity checks fail fast, before the proteome is loaded.
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1 (got %d); use 1 for a single pool or N > 1 for work-stealing shards", *shards)
+	}
+	if *shards > 1 && *listenAddr != "" {
+		log.Fatal("-shards shards over in-process pools and cannot be combined with -listen (TCP workers)")
+	}
+	if *shards > 1 && *islands > 1 {
+		log.Fatal("-shards cannot be combined with -islands (each island already owns its own pool)")
+	}
+	if *fallback && *listenAddr == "" && *shards <= 1 {
+		log.Fatal("-fallback-local requires -listen or -shards > 1: it recovers tasks those backends abandon, and a single local pool has nothing to fall back from")
+	}
+	if *minLive > 0 && *listenAddr == "" {
+		log.Fatal("-min-live-workers requires -listen (it gates dispatch while the TCP fleet is depopulated)")
+	}
+	if *hedge {
+		if *listenAddr == "" {
+			log.Fatal("-hedge requires -listen (it duplicates the cluster's straggling tail onto a local pool)")
+		}
+		if *hedgeFrac <= 0 || *hedgeFrac > 1 || *hedgePct <= 0 || *hedgePct >= 1 {
+			log.Fatal("-hedge-fraction must be in (0,1] and -hedge-percentile in (0,1)")
+		}
+	} else if *hedgeFrac != 0.10 || *hedgePct != 0.90 {
+		log.Fatal("-hedge-fraction/-hedge-percentile require -hedge")
 	}
 
 	proteins, err := seq.LoadFASTAFile(*proteomePath)
@@ -256,15 +299,6 @@ func main() {
 			}
 		}
 	}
-	if *shards > 1 && *listenAddr != "" {
-		log.Fatal("-shards shards over in-process pools and cannot be combined with -listen (TCP workers)")
-	}
-	if *shards > 1 && *islands > 1 {
-		log.Fatal("-shards cannot be combined with -islands (each island already owns its own pool)")
-	}
-	if *fallback && *listenAddr == "" {
-		log.Fatal("-fallback-local requires -listen (it recovers tasks the TCP cluster abandons)")
-	}
 	if *surrogate {
 		if *islands > 1 {
 			log.Fatal("-surrogate cannot be combined with -islands (each island evaluates independently; the shared model would break island determinism)")
@@ -284,6 +318,7 @@ func main() {
 		}
 		return pb
 	}
+	var sharded *evalbackend.Sharded
 	if *shards > 1 {
 		shardBackends := make([]evalbackend.Backend, *shards)
 		for i := range shardBackends {
@@ -293,7 +328,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Backend = sh
+		sharded = sh
+		backend := evalbackend.Backend(sh)
+		if *fallback {
+			// A failed shard's tasks come back abandoned; re-score them
+			// on a fresh pool instead of scoring zero fitness.
+			backend = evalbackend.WithRetry(backend, localPool(), logger)
+		}
+		opts.Backend = backend
 	}
 	var master *netcluster.Master
 	if *listenAddr != "" {
@@ -310,6 +352,7 @@ func main() {
 				LeaseTimeout:      *lease,
 				MaxAttempts:       *maxAttempts,
 				HeartbeatInterval: *heartbeat,
+				MinLiveWorkers:    *minLive,
 				Logger:            logger,
 				Metrics:           metrics,
 			})
@@ -322,6 +365,14 @@ func main() {
 		log.Printf("master: %d worker(s) connected (lease %s, max %d attempts)",
 			master.Workers(), *lease, *maxAttempts)
 		backend := evalbackend.Backend(evalbackend.NewMaster(master))
+		if *hedge {
+			// Straggling rounds duplicate their tail onto a local pool;
+			// whichever copy lands first wins, stale copies are dropped.
+			backend = evalbackend.WithHedging(backend, localPool(), evalbackend.HedgingConfig{
+				Fraction:   *hedgeFrac,
+				Percentile: *hedgePct,
+			}, logger)
+		}
 		if *fallback {
 			// Abandoned tasks (all attempts exhausted) re-evaluate on a
 			// local pool instead of scoring zero fitness.
@@ -421,8 +472,14 @@ func main() {
 	}
 	if master != nil {
 		st := master.Stats()
-		log.Printf("cluster: %d tasks completed, %d re-issued, %d leases expired, %d abandoned, %d worker disconnects",
-			st.TasksCompleted, st.TasksReissued, st.LeasesExpired, st.TasksQuarantined, st.WorkerDisconnects)
+		log.Printf("cluster: %d tasks completed, %d re-issued, %d leases expired, %d abandoned, %d worker disconnects, %d drained",
+			st.TasksCompleted, st.TasksReissued, st.LeasesExpired, st.TasksQuarantined, st.WorkerDisconnects, st.WorkersDrained)
+	}
+	if sharded != nil {
+		for i, ss := range sharded.ShardStats() {
+			log.Printf("shard %d: %d batches dispatched (%d stolen), %d failed, service EWMA %s",
+				i, ss.Dispatched, ss.StolenBatches, ss.Failed, time.Duration(ss.EWMAServiceNS))
+		}
 	}
 
 	fmt.Printf("designed anti-%s after %d generations\n", *targetName, res.Generations)

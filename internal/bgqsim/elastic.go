@@ -1,0 +1,227 @@
+package bgqsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ElasticParams extends the cluster model with worker heterogeneity and
+// hedged tail dispatch — the protocol-level counterpart of
+// evalbackend.WithHedging, simulated omnisciently so the policy can be
+// sized (fraction, percentile) before burning real cluster hours.
+type ElasticParams struct {
+	// SlowWorkerFraction is the fraction of workers that are stragglers
+	// (0 disables heterogeneity).
+	SlowWorkerFraction float64
+	// SlowFactor multiplies a straggler's service time (>1; values <=1
+	// mean no slowdown).
+	SlowFactor float64
+	// HedgeFraction caps duplicate issues at ceil(fraction*Tasks) —
+	// only the round's tail is hedged. 0 disables hedging.
+	HedgeFraction float64
+	// HedgePercentile is the completed-duration percentile a running
+	// primary must exceed before a duplicate is armed. Defaults to 0.9
+	// when outside (0,1).
+	HedgePercentile float64
+}
+
+// ElasticResult reports one simulated elastic generation.
+type ElasticResult struct {
+	GenerationResult
+	// HedgesIssued counts duplicate dispatches; HedgedWins counts
+	// duplicates that finished before their primary copy.
+	HedgesIssued int
+	HedgedWins   int
+}
+
+// hedgeMinObserved is how many completed tasks the simulated master
+// needs before its duration percentile is trusted to arm hedges —
+// mirrors the warm-up gate in evalbackend.WithHedging.
+const hedgeMinObserved = 5
+
+// SimulateElasticGeneration runs the master/worker protocol of
+// SimulateGeneration over a heterogeneous fleet with hedged tail
+// dispatch: once every fresh task is assigned, an idle worker is given a
+// duplicate of the oldest running unhedged task whose elapsed time
+// exceeds the HedgePercentile of completed durations; the first copy to
+// finish wins and the other is dropped stale. With a zero ElasticParams
+// the model reduces to SimulateGeneration (uniform fleet, no hedges).
+func SimulateElasticGeneration(p ClusterParams, w Workload, e ElasticParams) (ElasticResult, error) {
+	workers := p.Nodes - 1
+	if workers < 1 {
+		return ElasticResult{}, fmt.Errorf("bgqsim: need at least 2 nodes, got %d", p.Nodes)
+	}
+	if w.Tasks < 1 || w.TaskMean <= 0 {
+		return ElasticResult{}, fmt.Errorf("bgqsim: invalid workload %+v", w)
+	}
+	speed := make([]float64, workers)
+	slowN := int(e.SlowWorkerFraction * float64(workers))
+	for i := range speed {
+		speed[i] = 1
+		if i < slowN && e.SlowFactor > 1 {
+			speed[i] = e.SlowFactor
+		}
+	}
+	pct := e.HedgePercentile
+	if pct <= 0 || pct >= 1 {
+		pct = 0.9
+	}
+	maxHedges := 0
+	if e.HedgeFraction > 0 {
+		maxHedges = int(math.Ceil(e.HedgeFraction * float64(w.Tasks)))
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	sigma2 := math.Log(1 + w.TaskCV*w.TaskCV)
+	mu := math.Log(w.TaskMean) - sigma2/2
+	type taskState struct {
+		base    float64 // intrinsic unit-speed service time
+		started float64 // primary dispatch time
+		active  bool
+		hedged  bool
+		done    bool
+	}
+	tasks := make([]taskState, w.Tasks)
+	for i := range tasks {
+		tasks[i].base = math.Exp(mu + math.Sqrt(sigma2)*rng.NormFloat64())
+	}
+	// Idle workers poll the master for late-arriving hedge work at a
+	// coarse cadence: cheap enough to not flood the event queue, fine
+	// enough to catch stragglers crossing the percentile threshold.
+	idleWait := w.TaskMean / 10
+	if idleWait <= 0 {
+		idleWait = 1
+	}
+
+	// An event is a worker arriving at the master: task < 0 is a bare
+	// work request, otherwise the completion of that task copy.
+	type elasticEvent struct {
+		at     float64
+		worker int
+		task   int
+		hedge  bool
+	}
+	less := func(a, b elasticEvent) bool { return a.at < b.at }
+	queue := make([]elasticEvent, 0, workers)
+	push := func(ev elasticEvent) {
+		queue = append(queue, ev)
+		i := len(queue) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(queue[i], queue[parent]) {
+				break
+			}
+			queue[i], queue[parent] = queue[parent], queue[i]
+			i = parent
+		}
+	}
+	pop := func() elasticEvent {
+		top := queue[0]
+		n := len(queue) - 1
+		queue[0] = queue[n]
+		queue = queue[:n]
+		i := 0
+		for {
+			l, r, smallest := 2*i+1, 2*i+2, i
+			if l < n && less(queue[l], queue[smallest]) {
+				smallest = l
+			}
+			if r < n && less(queue[r], queue[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			queue[i], queue[smallest] = queue[smallest], queue[i]
+			i = smallest
+		}
+		return top
+	}
+
+	for i := 0; i < workers; i++ {
+		push(elasticEvent{at: 0, worker: i, task: -1})
+	}
+	var (
+		masterFree, masterBusy, lastDone float64
+		busyTime                         = make([]float64, workers)
+		durations                        []float64 // primary-dispatch-to-first-result
+		assigned, remaining              = 0, w.Tasks
+		hedgesIssued, hedgedWins         int
+	)
+	for remaining > 0 && len(queue) > 0 {
+		ev := pop()
+		if ev.task >= 0 {
+			t := &tasks[ev.task]
+			if !t.done {
+				t.done = true
+				remaining--
+				durations = append(durations, ev.at-t.started)
+				if ev.hedge {
+					hedgedWins++
+				}
+				if ev.at > lastDone {
+					lastDone = ev.at
+				}
+			}
+			// Stale duplicate results are dropped; either way the worker
+			// asks for more work below.
+		}
+		start := math.Max(masterFree, ev.at)
+		masterFree = start + p.MasterService
+		masterBusy += p.MasterService
+		now := masterFree
+		if assigned < w.Tasks {
+			t := &tasks[assigned]
+			t.started, t.active = now, true
+			dur := t.base * speed[ev.worker]
+			busyTime[ev.worker] += dur
+			push(elasticEvent{at: now + dur, worker: ev.worker, task: assigned})
+			assigned++
+			continue
+		}
+		// Tail: hand an idle worker a duplicate of the slowest-running
+		// eligible primary, if the observed percentile arms one.
+		if hedgesIssued < maxHedges && len(durations) >= hedgeMinObserved {
+			threshold := Percentile(durations, pct)
+			pick := -1
+			for i := range tasks {
+				t := &tasks[i]
+				if t.active && !t.done && !t.hedged && now-t.started >= threshold {
+					if pick < 0 || t.started < tasks[pick].started {
+						pick = i
+					}
+				}
+			}
+			if pick >= 0 {
+				t := &tasks[pick]
+				t.hedged = true
+				hedgesIssued++
+				dur := t.base * speed[ev.worker]
+				busyTime[ev.worker] += dur
+				push(elasticEvent{at: now + dur, worker: ev.worker, task: pick, hedge: true})
+				continue
+			}
+		}
+		// Nothing to hand out: the worker idles and re-requests; its
+		// polls stop mattering once the last task completes.
+		push(elasticEvent{at: now + idleWait, worker: ev.worker, task: -1})
+	}
+	if masterFree > lastDone {
+		lastDone = masterFree
+	}
+	runtime := lastDone + p.MasterPerGen
+	var busySum float64
+	for _, b := range busyTime {
+		busySum += b
+	}
+	return ElasticResult{
+		GenerationResult: GenerationResult{
+			Runtime:           runtime,
+			WorkerBusy:        busySum / (float64(workers) * lastDone),
+			MasterUtilization: masterBusy / lastDone,
+		},
+		HedgesIssued: hedgesIssued,
+		HedgedWins:   hedgedWins,
+	}, nil
+}

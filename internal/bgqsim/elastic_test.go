@@ -1,0 +1,74 @@
+package bgqsim
+
+import (
+	"math"
+	"testing"
+)
+
+// With a uniform fleet and no hedging the elastic model must agree with
+// the baseline discrete-event simulation (same rng draw order, same
+// dispatch policy); small bookkeeping differences around the END
+// exchange are allowed.
+func TestElasticReducesToBaseline(t *testing.T) {
+	p := DefaultClusterParams(65)
+	w := Workload{Tasks: 400, TaskMean: 10, TaskCV: 0.3}
+	base, err := SimulateGeneration(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic, err := SimulateElasticGeneration(p, w, ElasticParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elastic.HedgesIssued != 0 || elastic.HedgedWins != 0 {
+		t.Fatalf("uniform fleet issued hedges: %+v", elastic)
+	}
+	if rel := math.Abs(elastic.Runtime-base.Runtime) / base.Runtime; rel > 0.05 {
+		t.Fatalf("elastic %+.1f vs baseline %+.1f: rel diff %.3f", elastic.Runtime, base.Runtime, rel)
+	}
+}
+
+// Hedging must cut the straggler tail: with a quarter of the fleet 8x
+// slow, duplicating the tail onto fast idle workers shortens the
+// makespan, and some duplicates actually win.
+func TestHedgingCutsStragglerTail(t *testing.T) {
+	p := DefaultClusterParams(65)
+	w := Workload{Tasks: 400, TaskMean: 10, TaskCV: 0.3}
+	slow := ElasticParams{SlowWorkerFraction: 0.25, SlowFactor: 8}
+	unhedged, err := SimulateElasticGeneration(p, w, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedgedParams := slow
+	hedgedParams.HedgeFraction = 0.15
+	hedgedParams.HedgePercentile = 0.9
+	hedged, err := SimulateElasticGeneration(p, w, hedgedParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.HedgesIssued == 0 || hedged.HedgedWins == 0 {
+		t.Fatalf("straggler fleet armed no hedges: %+v", hedged)
+	}
+	if hedged.Runtime >= unhedged.Runtime {
+		t.Fatalf("hedging did not help: hedged %.1f vs unhedged %.1f", hedged.Runtime, unhedged.Runtime)
+	}
+}
+
+// Hedging must be ~free when there are no stragglers to cut: the
+// percentile gate keeps duplicates rare and the makespan within noise
+// of the unhedged run.
+func TestHedgingNoRegressionWithoutStragglers(t *testing.T) {
+	p := DefaultClusterParams(65)
+	w := Workload{Tasks: 400, TaskMean: 10, TaskCV: 0.3}
+	unhedged, err := SimulateElasticGeneration(p, w, ElasticParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := SimulateElasticGeneration(p, w, ElasticParams{HedgeFraction: 0.15, HedgePercentile: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.Runtime > unhedged.Runtime*1.05 {
+		t.Fatalf("hedging regressed a uniform fleet: hedged %.1f vs unhedged %.1f", hedged.Runtime, unhedged.Runtime)
+	}
+}

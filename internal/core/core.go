@@ -208,6 +208,8 @@ type Designer struct {
 	genEstimated   int
 	genSurrTrained int
 	genSurrMAE     float64
+	genStolen      int
+	genHedgedWins  int
 	genEvalWall    time.Duration
 	genMinFit      float64
 	genPopHash     string
@@ -293,6 +295,7 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	d.genPopulation = len(seqs)
 	d.genEvaluated, d.genCacheHits, d.genAbandoned, d.genEvalWall = 0, 0, 0, 0
 	d.genEstimated, d.genSurrTrained, d.genSurrMAE = 0, 0, 0
+	d.genStolen, d.genHedgedWins = 0, 0
 	defer func() {
 		min := 0.0
 		for i, f := range fits {
@@ -305,8 +308,14 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	pre := d.backend.Stats()
 	results, err := d.backend.EvaluateAll(d.runCtx, seqs)
 	post := d.backend.Stats()
-	d.genEvaluated = int(post.Tasks - pre.Tasks)
+	// Hedged duplicates are scored twice (primary and hedge copy) but
+	// answer one candidate; subtracting the stale copies keeps the
+	// journal identity evaluated + cache_hits + abandoned + estimated ==
+	// population exact under hedging.
+	d.genEvaluated = int((post.Tasks - pre.Tasks) - (post.HedgedStale - pre.HedgedStale))
 	d.genCacheHits = int(post.CacheHits - pre.CacheHits)
+	d.genStolen = int(post.StolenBatches - pre.StolenBatches)
+	d.genHedgedWins = int(post.HedgedWins - pre.HedgedWins)
 	d.genEvalWall = time.Duration(post.EvalWallNS - pre.EvalWallNS)
 	d.genEstimated = int(post.SurrogateEstimated - pre.SurrogateEstimated)
 	d.genSurrTrained = int(post.SurrogateTrained - pre.SurrogateTrained)
@@ -578,6 +587,8 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 		SurrogateEstimated: d.genEstimated,
 		SurrogateTrained:   d.genSurrTrained,
 		SurrogateMAE:       d.genSurrMAE,
+		StolenBatches:      d.genStolen,
+		HedgedWins:         d.genHedgedWins,
 		EvalWallMS:         float64(d.genEvalWall) / float64(time.Millisecond),
 		GenWallMS:          float64(genWall) / float64(time.Millisecond),
 	}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/netcluster"
@@ -89,6 +90,19 @@ type Stats struct {
 	SurrogateEstimated int64
 	SurrogateTrained   int64
 	SurrogateErrMicro  int64
+	// Elastic-dispatch accounting. StolenBatches counts batches a shard
+	// pulled from the shared round queue beyond its first of the round —
+	// work that migrated away from slower shards (owned by Sharded).
+	// HedgesIssued counts candidates duplicate-issued to a hedge backend,
+	// HedgedWins counts hedged candidates whose duplicate supplied the
+	// result used, and HedgedStale counts clean duplicate results dropped
+	// because the primary copy already won — the exact double-count the
+	// journal subtracts to keep `evaluated` conservation-true (owned by
+	// WithHedging).
+	StolenBatches int64
+	HedgesIssued  int64
+	HedgedWins    int64
+	HedgedStale   int64
 }
 
 // Add returns the field-wise sum of s and o.
@@ -103,6 +117,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.SurrogateEstimated += o.SurrogateEstimated
 	s.SurrogateTrained += o.SurrogateTrained
 	s.SurrogateErrMicro += o.SurrogateErrMicro
+	s.StolenBatches += o.StolenBatches
+	s.HedgesIssued += o.HedgesIssued
+	s.HedgedWins += o.HedgedWins
+	s.HedgedStale += o.HedgedStale
 	return s
 }
 
@@ -111,6 +129,7 @@ func (s Stats) Add(o Stats) Stats {
 type counters struct {
 	rounds, tasks, cacheHits, abandoned, retried, recovered, evalWallNS atomic.Int64
 	surrEstimated, surrTrained, surrErrMicro                            atomic.Int64
+	stolenBatches, hedgesIssued, hedgedWins, hedgedStale                atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -125,6 +144,10 @@ func (c *counters) snapshot() Stats {
 		SurrogateEstimated: c.surrEstimated.Load(),
 		SurrogateTrained:   c.surrTrained.Load(),
 		SurrogateErrMicro:  c.surrErrMicro.Load(),
+		StolenBatches:      c.stolenBatches.Load(),
+		HedgesIssued:       c.hedgesIssued.Load(),
+		HedgedWins:         c.hedgedWins.Load(),
+		HedgedStale:        c.hedgedStale.Load(),
 	}
 }
 
@@ -211,6 +234,12 @@ func (b *MasterBackend) EvaluateAll(ctx context.Context, seqs []seq.Sequence) ([
 
 // Stats implements Backend.
 func (b *MasterBackend) Stats() Stats { return b.c.snapshot() }
+
+// EWMAServiceTime implements ServiceTimeEstimator by forwarding the
+// master's per-task service-time EWMA, so a work-stealing composite
+// sizes this shard's batches from real worker round-trips rather than
+// its own coarser batch-level measurements.
+func (b *MasterBackend) EWMAServiceTime() time.Duration { return b.m.EWMAServiceTime() }
 
 // Close implements Backend without closing the underlying master.
 func (b *MasterBackend) Close() error { return nil }

@@ -213,7 +213,10 @@ func TestWithSurrogateAdversarialLayering(t *testing.T) {
 	if sum, errs := account(r1, pre, post); sum != n || errs != 0 {
 		t.Fatalf("round 1 accounting: sum %d (want %d), result errors %d; stats %+v", sum, n, errs, post)
 	}
-	if post.Abandoned != n/2 || post.Retried != n/2 || post.Recovered != n/2 {
+	// Work-stealing makes the healthy/dead split racy; the invariants
+	// are that every abandonment was retried and recovered, and that
+	// clean scores (healthy shard + fallback recoveries) cover the round.
+	if post.Abandoned != post.Retried || post.Retried != post.Recovered {
 		t.Fatalf("retry accounting: %+v", post)
 	}
 	if post.Tasks != n {

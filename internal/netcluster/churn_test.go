@@ -1,0 +1,176 @@
+package netcluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDrainWhileDisconnected: a drain request must also end a worker
+// that is between connections — dialing a master that no longer exists
+// — since nothing is leased to an unconnected worker. Without the
+// reconnect-loop drain check the loop would retry forever.
+func TestDrainWhileDisconnected(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	drain := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		// 127.0.0.1:1 refuses connections; the loop sits in dial/backoff.
+		_, err := RunWorkerLoop(ctx, "127.0.0.1:1", WorkerOptions{
+			Drain: drain,
+			Logf:  func(string, ...any) {},
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(drain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("disconnected drain returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drained worker loop never exited its reconnect loop")
+	}
+}
+
+// TestGracefulDrainMidRound: a worker asked to drain mid-round finishes
+// the task it is computing, delivers that result with the Leaving flag,
+// and exits its reconnect loop cleanly — without a single lease expiry,
+// re-issue or quarantine, and without sinking the round, which the
+// remaining worker completes.
+func TestGracefulDrainMidRound(t *testing.T) {
+	m := startMasterOpts(t, []int{1, 2}, 1, Options{HeartbeatInterval: 20 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	drain := make(chan struct{})
+	drainedDone := make(chan error, 1)
+	go func() {
+		_, err := RunWorkerLoop(ctx, m.Addr(), WorkerOptions{Drain: drain})
+		drainedDone <- err
+	}()
+	go RunWorkerLoop(ctx, m.Addr(), WorkerOptions{})
+	waitWorkers(t, m, 2)
+
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		close(drain)
+	}()
+	res, err := m.EvaluateAllContext(context.Background(), randomSeqs(3, 12, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Index != i {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+
+	select {
+	case err := <-drainedDone:
+		if err != nil {
+			t.Fatalf("drained worker loop returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drained worker loop did not exit")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Stats().WorkersDrained < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never recorded: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := m.Stats()
+	if st.TasksReissued != 0 || st.TasksQuarantined != 0 || st.LeasesExpired != 0 {
+		t.Fatalf("graceful drain burned task attempts: %+v", st)
+	}
+	if m.EWMAServiceTime() <= 0 || st.ServiceEWMANS <= 0 {
+		t.Fatalf("service-time EWMA not tracked: %+v", st)
+	}
+}
+
+// TestMidRoundWorkerJoin: a worker that connects while a round is in
+// flight receives the retained Setup broadcast, builds its engine and
+// serves the same round — the round completes with every result clean.
+func TestMidRoundWorkerJoin(t *testing.T) {
+	m := startMasterOpts(t, []int{1, 2}, 1, Options{HeartbeatInterval: 20 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	go RunWorkerLoop(ctx, m.Addr(), WorkerOptions{})
+	waitWorkers(t, m, 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		RunWorkerLoop(ctx, m.Addr(), WorkerOptions{})
+	}()
+
+	res, err := m.EvaluateAllContext(context.Background(), randomSeqs(5, 16, 110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Index != i {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	waitWorkers(t, m, 2) // the joiner is a full fleet member afterwards
+	if st := m.Stats(); st.WorkerConnects < 2 {
+		t.Fatalf("mid-round join not recorded: %+v", st)
+	}
+}
+
+// TestMinLiveWorkersGatesDispatch: with the fleet below MinLiveWorkers
+// the master holds every task in the queue — no leases granted, no
+// attempts burned — and resumes dispatch the moment the gate is met, so
+// a depopulated fleet with MaxAttempts=1 cannot quarantine a round.
+func TestMinLiveWorkersGatesDispatch(t *testing.T) {
+	m := startMasterOpts(t, []int{1, 2}, 1, Options{
+		MinLiveWorkers:    2,
+		MaxAttempts:       1,
+		LeaseTimeout:      200 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	go RunWorkerLoop(ctx, m.Addr(), WorkerOptions{})
+	waitWorkers(t, m, 1)
+
+	done := make(chan error, 1)
+	var roundErr error
+	go func() {
+		res, err := m.EvaluateAllContext(context.Background(), randomSeqs(7, 8, 100))
+		if err == nil {
+			for i, r := range res {
+				if r.Err != nil || r.Index != i {
+					err = r.Err
+					break
+				}
+			}
+		}
+		done <- err
+	}()
+
+	time.Sleep(120 * time.Millisecond)
+	if n := m.Stats().TasksDispatched; n != 0 {
+		t.Fatalf("gate leaked %d dispatches with 1 of 2 workers live", n)
+	}
+	go RunWorkerLoop(ctx, m.Addr(), WorkerOptions{})
+
+	select {
+	case roundErr = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("gated round never completed after the fleet recovered")
+	}
+	if roundErr != nil {
+		t.Fatalf("gated round: %v", roundErr)
+	}
+	st := m.Stats()
+	if st.TasksQuarantined != 0 {
+		t.Fatalf("gate failed to protect tasks: %+v", st)
+	}
+}

@@ -52,6 +52,12 @@ type Options struct {
 	// engine rebuild that follows it (both scale with proteome size).
 	// Default 2m.
 	SetupTimeout time.Duration
+	// MinLiveWorkers gates dispatch during churn: while fewer than this
+	// many workers are connected, tasks stay queued (no leases granted,
+	// no attempts burned) and connected workers receive heartbeats, so a
+	// briefly depopulated fleet cannot quarantine a round's tasks by
+	// failing them serially. 0 (the default) disables the gate.
+	MinLiveWorkers int
 	// Logger, if non-nil, receives structured events for worker
 	// connections, lease expiries, task quarantines and evaluation
 	// rounds. Nil discards them.
@@ -306,7 +312,9 @@ func (m *Master) deliver(w *workerConn, req requestMsg) {
 	m.mu.Unlock()
 	m.stats.tasksCompleted.Add(1)
 	if !dispatched.IsZero() {
-		m.opts.Metrics.Observe(obs.StageCollect, time.Since(dispatched))
+		service := time.Since(dispatched)
+		m.stats.observeService(service)
+		m.opts.Metrics.Observe(obs.StageCollect, service)
 	}
 }
 
@@ -332,9 +340,11 @@ const (
 )
 
 // nextTask blocks until there is a task to lease to w, returning the
-// wire message to send. With no work available it returns a heartbeat
-// every HeartbeatInterval so the idle worker can tell the master is
-// alive; after Close it returns END.
+// wire message to send. With no work available — or with the fleet
+// below Options.MinLiveWorkers, which holds dispatch rather than burn
+// attempts on a depopulated cluster — it returns a heartbeat every
+// HeartbeatInterval so the idle worker can tell the master is alive;
+// after Close it returns END.
 func (m *Master) nextTask(w *workerConn) (taskMsg, int) {
 	for {
 		m.mu.Lock()
@@ -342,7 +352,7 @@ func (m *Master) nextTask(w *workerConn) (taskMsg, int) {
 			m.mu.Unlock()
 			return taskMsg{End: true}, actEnd
 		}
-		if r := m.cur; r != nil && len(r.queue) > 0 {
+		if r := m.cur; r != nil && len(r.queue) > 0 && len(m.conns) >= m.opts.MinLiveWorkers {
 			t := r.queue[0]
 			r.queue = r.queue[1:]
 			t.attempts++
@@ -427,6 +437,17 @@ func (m *Master) handle(conn net.Conn) {
 		if req.HasResult {
 			m.deliver(w, req)
 		}
+		if req.Leaving {
+			// Graceful drain: the result (if any) is already delivered
+			// and nothing is leased to this worker, so it departs
+			// without burning any task attempts.
+			m.stats.workersDrained.Add(1)
+			m.opts.Logger.Debug("worker drained", "worker", conn.RemoteAddr().String())
+			_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+			_ = enc.Encode(taskMsg{End: true})
+			return
+		}
+		hbMisses := 0
 		for {
 			msg, act := m.nextTask(w)
 			_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
@@ -439,7 +460,36 @@ func (m *Master) handle(conn net.Conn) {
 			if act == actTask {
 				break
 			}
-			// Heartbeat sent; keep waiting for work.
+			// Idle heartbeat sent. The worker answers every idle heartbeat
+			// (an ack, or Leaving to drain), so the exchange stays strictly
+			// alternating and an idle goodbye is actually read. Poll one
+			// interval for the answer: a worker silent for HeartbeatMisses
+			// consecutive idle heartbeats is declared dead, and in between
+			// the handler keeps returning to nextTask — a silently
+			// partitioned worker therefore still takes leases into the void
+			// (burning that task's attempt) instead of wedging dispatch.
+			_ = conn.SetReadDeadline(time.Now().Add(m.opts.HeartbeatInterval))
+			var ack requestMsg
+			if err := dec.Decode(&ack); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					hbMisses++
+					if hbMisses >= m.opts.HeartbeatMisses {
+						return
+					}
+					continue
+				}
+				return
+			}
+			hbMisses = 0
+			if ack.Leaving {
+				m.stats.workersDrained.Add(1)
+				m.opts.Logger.Debug("worker drained", "worker", conn.RemoteAddr().String())
+				_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+				_ = enc.Encode(taskMsg{End: true})
+				return
+			}
+			// Ack (or a stale compute heartbeat); keep waiting for work.
 		}
 	}
 }
@@ -556,4 +606,12 @@ func (m *Master) Stats() Stats {
 	s := m.stats.snapshot()
 	s.WorkersConnected = m.Workers()
 	return s
+}
+
+// EWMAServiceTime returns the exponentially weighted moving average of
+// per-task service time (lease grant to result), or 0 before any task
+// completed. Elastic dispatchers use it to size the batches they pull
+// (evalbackend.ServiceTimeEstimator).
+func (m *Master) EWMAServiceTime() time.Duration {
+	return time.Duration(m.stats.serviceEWMANS.Load())
 }

@@ -218,6 +218,11 @@ type taskMsg struct {
 type requestMsg struct {
 	Heartbeat bool // liveness only; no result, no work request
 	HasResult bool
+	// Leaving announces a graceful drain: the worker delivers the
+	// attached result (if any) and disconnects instead of requesting
+	// more work. gob leaves absent fields zero, so old workers
+	// interoperate unchanged.
+	Leaving   bool
 	Index     int
 	Attempt   int
 	Target    float64

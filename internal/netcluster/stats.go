@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 )
 
 // statsCounters are the master's monotonic fault-tolerance counters.
@@ -20,6 +21,28 @@ type statsCounters struct {
 	roundsStarted      atomic.Int64
 	roundsCompleted    atomic.Int64
 	roundsCancelled    atomic.Int64
+	workersDrained     atomic.Int64
+	serviceEWMANS      atomic.Int64
+}
+
+// serviceEWMAAlpha weights each completed task's service time into the
+// running estimate: low enough to ride out one noisy task, high enough
+// to track a fleet that degrades within tens of tasks.
+const serviceEWMAAlpha = 0.2
+
+// observeService folds one completed task's lease-to-result time into
+// the service-time EWMA.
+func (c *statsCounters) observeService(d time.Duration) {
+	for {
+		prev := c.serviceEWMANS.Load()
+		next := int64(d)
+		if prev > 0 {
+			next = int64(serviceEWMAAlpha*float64(d) + (1-serviceEWMAAlpha)*float64(prev))
+		}
+		if c.serviceEWMANS.CompareAndSwap(prev, next) {
+			return
+		}
+	}
 }
 
 func (c *statsCounters) snapshot() Stats {
@@ -36,6 +59,8 @@ func (c *statsCounters) snapshot() Stats {
 		RoundsStarted:      c.roundsStarted.Load(),
 		RoundsCompleted:    c.roundsCompleted.Load(),
 		RoundsCancelled:    c.roundsCancelled.Load(),
+		WorkersDrained:     c.workersDrained.Load(),
+		ServiceEWMANS:      c.serviceEWMANS.Load(),
 	}
 }
 
@@ -71,6 +96,15 @@ type Stats struct {
 	RoundsStarted   int64
 	RoundsCompleted int64
 	RoundsCancelled int64
+	// WorkersDrained counts workers that announced a graceful departure
+	// (requestMsg.Leaving) instead of vanishing — their last result was
+	// delivered and no task attempt was burned.
+	WorkersDrained int64
+	// ServiceEWMANS is the exponentially weighted moving average of
+	// per-task service time (lease grant to result), in nanoseconds; 0
+	// before any task completed. This is the estimate elastic
+	// dispatchers use to size batches.
+	ServiceEWMANS int64
 }
 
 // WritePrometheus writes the counters in Prometheus text exposition
@@ -94,4 +128,6 @@ func (s Stats) WritePrometheus(w io.Writer, prefix string) {
 	p("rounds_started_total", "Evaluation rounds started.", s.RoundsStarted)
 	p("rounds_completed_total", "Evaluation rounds fully completed.", s.RoundsCompleted)
 	p("rounds_cancelled_total", "Evaluation rounds cancelled or aborted.", s.RoundsCancelled)
+	p("workers_drained_total", "Workers that departed via graceful drain.", s.WorkersDrained)
+	p("task_service_ewma_ns", "EWMA of per-task service time, nanoseconds.", s.ServiceEWMANS)
 }

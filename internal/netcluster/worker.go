@@ -39,6 +39,12 @@ type WorkerOptions struct {
 	// Dial opens the master connection; tests inject fault-injected
 	// conns (faultnet.Dialer) here. Default: TCP with a 10s timeout.
 	Dial func(addr string) (net.Conn, error)
+	// Drain, when it becomes receivable (closed or sent to), asks the
+	// worker to leave gracefully: it finishes the task it is computing,
+	// delivers that result tagged requestMsg.Leaving, and exits without
+	// burning any task attempt. RunWorkerLoop returns instead of
+	// reconnecting after a drain. Nil (the default) disables draining.
+	Drain <-chan struct{}
 	// Logf, if non-nil, receives reconnect/backoff diagnostics.
 	Logf func(format string, args ...any)
 	// Logger, if non-nil, receives the same diagnostics as structured
@@ -140,7 +146,7 @@ func RunWorkerConn(ctx context.Context, addr string, opts WorkerOptions) (int, e
 	}
 	defer conn.Close()
 	var cache cachedEngine
-	n, _, err := runWorkerConn(ctx, conn, opts, &cache)
+	n, _, _, err := runWorkerConn(ctx, conn, opts, &cache)
 	return n, err
 }
 
@@ -148,28 +154,50 @@ func RunWorkerConn(ctx context.Context, addr string, opts WorkerOptions) (int, e
 // jittered exponential backoff after dial failures, dropped
 // connections, and clean END signals — so a worker can start before
 // its master exists and survive master restarts. It returns the total
-// number of tasks processed, with ctx.Err() once the context ends (the
-// only way out).
+// number of tasks processed, with ctx.Err() once the context ends, or
+// a nil error after a graceful drain (WorkerOptions.Drain fired); those
+// are the only ways out.
 func RunWorkerLoop(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 	opts = opts.withDefaults()
 	var cache cachedEngine
 	total := 0
 	backoff := opts.ReconnectMin
+	// A drain can also arrive while disconnected — mid-backoff, or with
+	// the master gone entirely. Nothing is leased to an unconnected
+	// worker, so honoring it immediately is always safe; without this
+	// check a drained worker whose master already exited would reconnect
+	// forever.
+	drainRequested := func() bool {
+		select {
+		case <-opts.Drain:
+			return true
+		default:
+			return false
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return total, err
+		}
+		if drainRequested() {
+			opts.Logf("netcluster: worker: drained while disconnected from %s after %d tasks", addr, total)
+			return total, nil
 		}
 		conn, err := opts.Dial(addr)
 		if err != nil {
 			opts.Logf("netcluster: worker: dial %s: %v (retry in ~%s)", addr, err, backoff)
 		} else {
 			var n int
-			var sawEnd bool
-			n, sawEnd, err = runWorkerConn(ctx, conn, opts, &cache)
+			var sawEnd, drained bool
+			n, sawEnd, drained, err = runWorkerConn(ctx, conn, opts, &cache)
 			conn.Close()
 			total += n
 			if ctx.Err() != nil {
 				return total, ctx.Err()
+			}
+			if drained {
+				opts.Logf("netcluster: worker: drained from %s after %d tasks", addr, n)
+				return total, nil
 			}
 			if n > 0 || sawEnd {
 				backoff = opts.ReconnectMin // productive session: reset backoff
@@ -181,8 +209,16 @@ func RunWorkerLoop(ctx context.Context, addr string, opts WorkerOptions) (int, e
 				opts.Logf("netcluster: worker: session at %s dropped after %d tasks: %v (retry in ~%s)", addr, n, err, backoff)
 			}
 		}
-		if !sleepCtx(ctx, jitter(backoff)) {
+		t := time.NewTimer(jitter(backoff))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
 			return total, ctx.Err()
+		case <-opts.Drain:
+			t.Stop()
+			opts.Logf("netcluster: worker: drained while disconnected from %s after %d tasks", addr, total)
+			return total, nil
 		}
 		backoff *= 2
 		if backoff > opts.ReconnectMax {
@@ -200,23 +236,14 @@ func jitter(d time.Duration) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
 }
 
-// sleepCtx sleeps for d, reporting false if ctx ended first.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-ctx.Done():
-		return false
-	}
-}
-
 // runWorkerConn speaks one connection's worth of the protocol: receive
 // the broadcast, build (or reuse) the engine, then request, compute and
 // return tasks — streaming lease-keepalive heartbeats while computing —
-// until END, a dead connection, or ctx cancellation.
-func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache *cachedEngine) (processed int, sawEnd bool, err error) {
+// until END, a dead connection, ctx cancellation, or a graceful drain
+// request (checked only at the protocol's safe points, where nothing is
+// leased to this worker: before requesting work and between idle
+// heartbeats).
+func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache *cachedEngine) (processed int, sawEnd, drained bool, err error) {
 	// Unblock any pending read/write when the context ends.
 	watchdog := make(chan struct{})
 	defer close(watchdog)
@@ -241,11 +268,11 @@ func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache
 	_ = conn.SetReadDeadline(time.Now().Add(opts.SetupTimeout))
 	var setup Setup
 	if err := dec.Decode(&setup); err != nil {
-		return 0, false, fmt.Errorf("netcluster: worker: receiving setup: %w", err)
+		return 0, false, false, fmt.Errorf("netcluster: worker: receiving setup: %w", err)
 	}
 	engine, err := cache.get(setup)
 	if err != nil {
-		return 0, false, fmt.Errorf("netcluster: worker: rebuilding engine: %w", err)
+		return 0, false, false, fmt.Errorf("netcluster: worker: rebuilding engine: %w", err)
 	}
 	hbInterval, hbTimeout := opts.cadence(setup)
 	threads := setup.ThreadsPerWorker
@@ -254,13 +281,30 @@ func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache
 	}
 	work := append([]int{setup.TargetID}, setup.NonTargetIDs...)
 
+	// draining reports whether a graceful departure has been requested.
+	draining := func() bool {
+		select {
+		case <-opts.Drain:
+			return true
+		default:
+			return false
+		}
+	}
+
 	req := requestMsg{} // first request carries no result
 	for {
 		if err := ctx.Err(); err != nil {
-			return processed, false, err
+			return processed, false, false, err
+		}
+		if draining() {
+			// Nothing is leased to us right now; say goodbye, carrying
+			// the previous task's result if this request holds one.
+			req.Leaving = true
+			_ = send(req)
+			return processed, false, true, nil
 		}
 		if err := send(req); err != nil {
-			return processed, false, fmt.Errorf("netcluster: worker: sending request: %w", err)
+			return processed, false, false, fmt.Errorf("netcluster: worker: sending request: %w", err)
 		}
 		var t taskMsg
 		for {
@@ -269,20 +313,33 @@ func runWorkerConn(ctx context.Context, conn net.Conn, opts WorkerOptions, cache
 			t = taskMsg{}
 			_ = conn.SetReadDeadline(time.Now().Add(hbTimeout))
 			if err := dec.Decode(&t); err != nil {
-				return processed, false, fmt.Errorf("netcluster: worker: receiving task: %w", err)
+				return processed, false, false, fmt.Errorf("netcluster: worker: receiving task: %w", err)
 			}
 			if !t.Heartbeat {
 				break // a real task or END
 			}
+			if draining() {
+				// Idle (the master is streaming no-work heartbeats):
+				// leave now. If a task was leased concurrently with the
+				// goodbye, the master requeues it without loss.
+				_ = send(requestMsg{Leaving: true})
+				return processed, false, true, nil
+			}
+			// Ack the idle heartbeat. The master reads between its idle
+			// heartbeats precisely so a drain can be heard from a worker
+			// it owes no task; the ack lets it tell waiting from dead.
+			if err := send(requestMsg{Heartbeat: true}); err != nil {
+				return processed, false, false, fmt.Errorf("netcluster: worker: acking heartbeat: %w", err)
+			}
 		}
 		if t.End {
-			return processed, true, nil
+			return processed, true, false, nil
 		}
 		cand, err := seq.New(t.Name, t.Residues)
 		if err != nil {
 			// Poison task: drop the connection so the master burns one of
 			// the task's attempts instead of looping on it here.
-			return processed, false, fmt.Errorf("netcluster: worker: bad candidate: %w", err)
+			return processed, false, false, fmt.Errorf("netcluster: worker: bad candidate: %w", err)
 		}
 		// Keep the lease alive while computing.
 		stopHB := make(chan struct{})

@@ -87,6 +87,15 @@ type GenerationRecord struct {
 	SurrogateTrained   int     `json:"surrogate_trained,omitempty"`
 	SurrogateMAE       float64 `json:"surrogate_mae,omitempty"`
 
+	// Elastic-dispatch stats. StolenBatches counts batches that
+	// migrated between shards this generation (work-stealing);
+	// HedgedWins counts candidates whose duplicate-issued hedge copy
+	// supplied the result used. The stale hedge copies are already
+	// subtracted from Evaluated, so the conservation law below holds
+	// unchanged under hedging.
+	StolenBatches int `json:"stolen_batches,omitempty"`
+	HedgedWins    int `json:"hedged_wins,omitempty"`
+
 	// Distributed-evaluation stats, stamped by the run owner when a
 	// netcluster master is the backend (deltas since the previous record).
 	Workers       int   `json:"workers,omitempty"`

@@ -361,6 +361,8 @@ func (s *jobStore) run(j *job) {
 			j.appendProgress(*rec, s.obs.progressBuffer)
 			s.metrics.surrogateEstimated.Add(int64(rec.SurrogateEstimated))
 			s.metrics.surrogateTrained.Add(int64(rec.SurrogateTrained))
+			s.metrics.stolenBatches.Add(int64(rec.StolenBatches))
+			s.metrics.hedgedWins.Add(int64(rec.HedgedWins))
 		},
 		OnGeneration: func(cp core.CurvePoint) {
 			j.mu.Lock()

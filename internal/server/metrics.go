@@ -29,6 +29,12 @@ type metrics struct {
 	surrogateEstimated atomic.Int64
 	surrogateTrained   atomic.Int64
 
+	// Elastic-dispatch activity across all jobs, from the same stream:
+	// batches shards stole from slower peers, and hedged duplicates
+	// that beat their primary copy.
+	stolenBatches atomic.Int64
+	hedgedWins    atomic.Int64
+
 	mu     sync.Mutex
 	routes map[string]*routeStats
 }
@@ -143,6 +149,11 @@ func (m *metrics) render(w http.ResponseWriter, g gauges) {
 	p("insipsd_surrogate_estimated_total %d", m.surrogateEstimated.Load())
 	p("# HELP insipsd_surrogate_trained_total Real evaluations absorbed by the online surrogate model.")
 	p("insipsd_surrogate_trained_total %d", m.surrogateTrained.Load())
+
+	p("# HELP insipsd_stolen_batches_total Evaluation batches work-stealing shards pulled beyond their first of a round.")
+	p("insipsd_stolen_batches_total %d", m.stolenBatches.Load())
+	p("# HELP insipsd_hedged_wins_total Hedged duplicate evaluations that beat their primary copy.")
+	p("insipsd_hedged_wins_total %d", m.hedgedWins.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))
