@@ -364,7 +364,12 @@ func BenchmarkBackendDispatch(b *testing.B) {
 			}
 		}
 	})
-	b.Run("sharded-2", func(b *testing.B) {
+	// Named without a trailing -<digit>: benchpipe strips the GOMAXPROCS
+	// suffix from result lines, and on single-core machines (no suffix) a
+	// literal "-2" would be eaten instead, double-recording this variant
+	// under two names ("sharded" vs "sharded-2" — the source of a phantom
+	// 24.8ms-vs-17.1ms regression in earlier BENCH_PIPE.json snapshots).
+	b.Run("two-shard", func(b *testing.B) {
 		shards := make([]evalbackend.Backend, 2)
 		for k := range shards {
 			pb, err := evalbackend.NewPool(eng, 0, []int{1, 2, 3}, cluster.Config{Workers: 1, ThreadsPerWorker: 1})
@@ -505,6 +510,51 @@ func BenchmarkQueryPreprocess(b *testing.B) {
 		eng.NewQuery(q, 1)
 	}
 	_ = pr
+}
+
+// BenchmarkScoreBatch is a generation's worth of candidates scored
+// through the batched path: shared window-cache lookups, per-generation
+// window dedup, and batch preprocessing ahead of the score kernel. Its
+// counterpart per-candidate cost is BenchmarkQueryPreprocess +
+// BenchmarkPIPEScore; the gap between them is what the batch path buys.
+func BenchmarkScoreBatch(b *testing.B) {
+	pr, eng := benchSetup(b)
+	rng := rand.New(rand.NewSource(11))
+	cands := make([]seq.Sequence, 24)
+	for i := range cands {
+		cands[i] = seq.Random(rng, "cand", 130, seq.YeastComposition())
+	}
+	ids := []int{0, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ScoreBatch(cands, ids, 1)
+	}
+	_ = pr
+}
+
+// BenchmarkWindowCache is the shared window-similarity cache in
+// isolation: a Get/Put cycle over a rotating key set sized to force a
+// steady-state mix of hits, misses, and LRU evictions.
+func BenchmarkWindowCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	const nKeys = 4096
+	keys := make([]string, nKeys)
+	for i := range keys {
+		buf := make([]byte, 20)
+		for j := range buf {
+			buf[j] = byte(seq.Letter(rng.Intn(seq.NumAminoAcids)))
+		}
+		keys[i] = string(buf)
+	}
+	val := []simindex.WinScore{{Protein: 1, Score: 40}, {Protein: 7, Score: 36}}
+	c := simindex.NewWindowCache(nKeys / 2) // half-capacity: sustained evictions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%nKeys]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, val)
+		}
+	}
 }
 
 // BenchmarkGAGeneration measures one GA generation without PIPE (pure

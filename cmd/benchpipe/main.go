@@ -34,9 +34,12 @@ import (
 
 const (
 	benchFile  = "BENCH_PIPE.json"
-	benchRegex = "PIPEScore$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|ElasticDispatch|SurrogatePredict|SurrogateTrain"
-	gateBench  = "BenchmarkPIPEScore"
+	benchRegex = "PIPEScore$|ScoreBatch$|WindowCache$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|ElasticDispatch|SurrogatePredict|SurrogateTrain"
 )
+
+// gateBenches are the benchmarks -check fails on: the per-pair scoring
+// kernel and the batched generation path the GA actually drives.
+var gateBenches = []string{"BenchmarkPIPEScore", "BenchmarkScoreBatch"}
 
 // Stat is the median of one benchmark's repetitions.
 type Stat struct {
@@ -64,7 +67,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 func main() {
 	var (
 		update    = flag.Bool("update", false, "run the suite and rewrite the 'after' medians")
-		check     = flag.Bool("check", false, "fail on ns/op regression of "+gateBench)
+		check     = flag.Bool("check", false, "fail on ns/op regression of "+strings.Join(gateBenches, ", "))
 		input     = flag.String("input", "", "parse this `go test -bench` output instead of running")
 		count     = flag.Int("count", 6, "benchmark repetitions when running the suite")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression in -check mode")
@@ -97,8 +100,10 @@ func main() {
 	if len(medians) == 0 {
 		fatal("no benchmark lines parsed")
 	}
-	if _, ok := medians[gateBench]; !ok {
-		fatal("benchmark output has no %s results", gateBench)
+	for _, gate := range gateBenches {
+		if _, ok := medians[gate]; !ok {
+			fatal("benchmark output has no %s results", gate)
+		}
 	}
 
 	if *update {
@@ -124,30 +129,47 @@ func main() {
 		return
 	}
 
-	// -check: compare the measured gate benchmark against the committed
+	// -check: compare each measured gate benchmark against the committed
 	// "after" numbers.
 	file := readFile()
-	rec, ok := file.Benchmarks[gateBench]
-	if !ok || rec.After == nil {
-		fatal("%s has no committed 'after' record for %s; run benchpipe -update", benchFile, gateBench)
+	failed := false
+	for _, gate := range gateBenches {
+		rec, ok := file.Benchmarks[gate]
+		if !ok || rec.After == nil {
+			fatal("%s has no committed 'after' record for %s; run benchpipe -update", benchFile, gate)
+		}
+		got := medians[gate].NsPerOp
+		want := rec.After.NsPerOp
+		ratio := got/want - 1
+		fmt.Printf("benchpipe: %s median %.0f ns/op vs committed %.0f ns/op (%+.1f%%)\n",
+			gate, got, want, 100*ratio)
+		if ratio > *tolerance {
+			fmt.Fprintf(os.Stderr, "benchpipe: %s regressed %.1f%% (tolerance %.0f%%)\n",
+				gate, 100*ratio, 100**tolerance)
+			failed = true
+		}
 	}
-	got := medians[gateBench].NsPerOp
-	want := rec.After.NsPerOp
-	ratio := got/want - 1
-	fmt.Printf("benchpipe: %s median %.0f ns/op vs committed %.0f ns/op (%+.1f%%)\n",
-		gateBench, got, want, 100*ratio)
 	for _, name := range sortedNames(medians) {
-		if name == gateBench {
+		if isGate(name) {
 			continue
 		}
 		if r, ok := file.Benchmarks[name]; ok && r.After != nil {
 			fmt.Printf("benchpipe: %-40s %12.0f ns/op (committed %12.0f)\n", name, medians[name].NsPerOp, r.After.NsPerOp)
 		}
 	}
-	if ratio > *tolerance {
-		fatal("%s regressed %.1f%% (tolerance %.0f%%)", gateBench, 100*ratio, 100**tolerance)
+	if failed {
+		os.Exit(1)
 	}
 	fmt.Println("benchpipe: OK")
+}
+
+func isGate(name string) bool {
+	for _, g := range gateBenches {
+		if g == name {
+			return true
+		}
+	}
+	return false
 }
 
 func parseMedians(out string) map[string]Stat {

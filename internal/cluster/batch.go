@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipe"
+	"repro/internal/seq"
+)
+
+// Parent hints travel by residue content, not by slot position: the GA
+// reports ancestry as child->parent sequence pairs, and the pool keys
+// retained parent queries the same way. Content addressing keeps the
+// hints valid through any reordering or subsetting a middleware chain
+// performs (fitness-cache miss filtering, surrogate top-K selection,
+// sharded batching) — a subset of candidates still looks its parents up
+// by its own residues.
+
+type parentHintsKey struct{}
+
+// WithParentHints attaches generation ancestry to a context: a map from
+// a candidate's residue string to its primary parent's residue string
+// (from the previous, already evaluated generation). An empty non-nil
+// map is meaningful — it announces that generation-aware evaluation is
+// active, so the pool retains this generation's queries as potential
+// delta parents for the next call.
+func WithParentHints(ctx context.Context, hints map[string]string) context.Context {
+	return context.WithValue(ctx, parentHintsKey{}, hints)
+}
+
+// ParentHintsFrom extracts ancestry attached by WithParentHints.
+func ParentHintsFrom(ctx context.Context) (map[string]string, bool) {
+	h, ok := ctx.Value(parentHintsKey{}).(map[string]string)
+	return h, ok
+}
+
+// EvaluateAllContext is EvaluateAll with generation context. Candidates
+// whose primary parent's query was retained from the previous call are
+// preprocessed incrementally (only windows overlapping an edit are
+// re-resolved); the rest go through the engine's batched preprocessing,
+// which dedups identical window content across the generation and
+// shares the window cache. Scores are bit-identical to the sequential
+// path. When hints are attached (even empty), the evaluated queries are
+// retained as delta parents for the next generation.
+func (p *Pool) EvaluateAllContext(ctx context.Context, seqs []seq.Sequence) []Result {
+	hints, genAware := ParentHintsFrom(ctx)
+
+	var prev map[string]*pipe.Query
+	if genAware {
+		p.mu.Lock()
+		prev = p.lastQueries
+		p.mu.Unlock()
+	}
+
+	// Partition: delta candidates have a retained parent query; the rest
+	// are batch-preprocessed together.
+	queries := make([]*pipe.Query, len(seqs))
+	var deltaIdx, batchIdx []int
+	for i, s := range seqs {
+		if parentRes, ok := hints[s.Residues()]; ok {
+			if _, ok := prev[parentRes]; ok {
+				deltaIdx = append(deltaIdx, i)
+				continue
+			}
+		}
+		batchIdx = append(batchIdx, i)
+	}
+	totalThreads := p.cfg.Workers * p.cfg.ThreadsPerWorker
+
+	if len(batchIdx) > 0 {
+		batchSeqs := make([]seq.Sequence, len(batchIdx))
+		for k, i := range batchIdx {
+			batchSeqs[k] = seqs[i]
+		}
+		built := p.engine.NewQueryBatch(batchSeqs, totalThreads)
+		for k, i := range batchIdx {
+			queries[i] = built[k]
+		}
+	}
+	if len(deltaIdx) > 0 {
+		workers := p.cfg.Workers
+		if workers > len(deltaIdx) {
+			workers = len(deltaIdx)
+		}
+		var wg sync.WaitGroup
+		var next int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(atomic.AddInt64(&next, 1)) - 1
+					if k >= len(deltaIdx) {
+						return
+					}
+					i := deltaIdx[k]
+					parent := prev[hints[seqs[i].Residues()]]
+					queries[i] = p.engine.NewQueryDelta(parent, seqs[i], p.cfg.ThreadsPerWorker)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if genAware {
+		retained := make(map[string]*pipe.Query, len(seqs))
+		for i, s := range seqs {
+			retained[s.Residues()] = queries[i]
+		}
+		p.mu.Lock()
+		p.lastQueries = retained
+		p.mu.Unlock()
+	}
+
+	return p.scorePrebuilt(seqs, queries)
+}
+
+// scorePrebuilt runs the on-demand per-candidate scoring loop of
+// Algorithm 1 over already-preprocessed queries. With batched
+// preprocessing the StageEvalTask histogram observes the scoring span
+// of each candidate (preprocessing is amortized across the generation).
+func (p *Pool) scorePrebuilt(seqs []seq.Sequence, queries []*pipe.Query) []Result {
+	results := make([]Result, len(seqs))
+	work := make([]int, 0, len(p.nonTargetIDs)+1)
+	work = append(work, p.targetID)
+	work = append(work, p.nonTargetIDs...)
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				t0 := time.Now()
+				res := p.scoreQuery(queries[i], work)
+				res.Index = i
+				results[i] = res
+				p.cfg.Metrics.Observe(obs.StageEvalTask, time.Since(t0))
+			}
+		}()
+	}
+	for i := range seqs {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	return results
+}
+
+// scoreQuery scores one prebuilt query against the work list with the
+// worker's computational threads (Algorithm 2's inner loop).
+func (p *Pool) scoreQuery(query *pipe.Query, work []int) Result {
+	scores := make([]float64, len(work))
+	threads := p.cfg.ThreadsPerWorker
+	if threads > len(work) {
+		threads = len(work)
+	}
+	if threads <= 1 {
+		scorer := p.engine.AcquireScorer()
+		defer p.engine.ReleaseScorer(scorer)
+		for i, id := range work {
+			scores[i] = scorer.Score(query, id)
+		}
+		return Result{TargetScore: scores[0], NonTargetScores: scores[1:]}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer := p.engine.AcquireScorer()
+			defer p.engine.ReleaseScorer(scorer)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(work) {
+					return
+				}
+				scores[i] = scorer.Score(query, work[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{TargetScore: scores[0], NonTargetScores: scores[1:]}
+}

@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -98,6 +99,12 @@ type Pool struct {
 	targetID     int
 	nonTargetIDs []int
 	cfg          Config
+
+	// lastQueries retains the previous generation's preprocessed queries
+	// by residue content when generation-aware evaluation is active
+	// (see EvaluateAllContext), serving as delta-preprocessing parents.
+	mu          sync.Mutex
+	lastQueries map[string]*pipe.Query
 }
 
 // New creates a pool. The target and non-target IDs must be valid protein
@@ -170,10 +177,13 @@ func (p *Pool) processCandidate(s seq.Sequence) Result {
 	return Result{TargetScore: scores[0], NonTargetScores: scores[1:]}
 }
 
-// EvaluateAll scores every candidate with on-demand dispatch and returns
-// results indexed like seqs.
+// EvaluateAll scores every candidate through the batched preprocessing
+// path (identical window content deduped across the generation, window
+// cache shared with earlier generations) followed by on-demand scoring
+// dispatch, returning results indexed like seqs. Scores are
+// bit-identical to the per-candidate path EvaluateAllReport uses.
 func (p *Pool) EvaluateAll(seqs []seq.Sequence) []Result {
-	return p.evaluate(seqs, false).Results
+	return p.EvaluateAllContext(context.Background(), seqs)
 }
 
 // EvaluateAllReport is EvaluateAll with full instrumentation.

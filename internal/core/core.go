@@ -213,6 +213,13 @@ type Designer struct {
 	genEvalWall    time.Duration
 	genMinFit      float64
 	genPopHash     string
+
+	// Window-cache / delta-preprocessing accounting (engine counter
+	// deltas around the evaluation call).
+	genWinHits      int64
+	genWinMisses    int64
+	genWinEvicted   int64
+	genDeltaQueries int64
 }
 
 // NewDesigner validates the problem and wires the GA to the master/worker
@@ -305,9 +312,35 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 		}
 		d.genMinFit = min
 	}()
+	// Attach generation ancestry so the in-process pool's batched
+	// preprocessing can build children incrementally from their parents.
+	// Hints are keyed by residue content, so middleware that reorders or
+	// subsets the generation (fitness cache, surrogate, sharding) leaves
+	// them valid; an empty map still announces generation-aware
+	// evaluation so the pool retains this generation's queries as the
+	// next one's delta parents. Backends without the delta path ignore
+	// the context value.
+	hints := make(map[string]string)
+	if prov := d.engine.Provenance(); prov != nil {
+		prevGen := d.engine.LastEvaluated()
+		for i, p := range prov {
+			if i < len(seqs) && p.ParentA >= 0 && p.ParentA < len(prevGen) {
+				hints[seqs[i].Residues()] = prevGen[p.ParentA].Seq.Residues()
+			}
+		}
+	}
+	ctx := cluster.WithParentHints(d.runCtx, hints)
+	wcPre := d.problem.Engine.WindowCacheStats()
+	dqPre, _ := d.problem.Engine.DeltaStats()
 	pre := d.backend.Stats()
-	results, err := d.backend.EvaluateAll(d.runCtx, seqs)
+	results, err := d.backend.EvaluateAll(ctx, seqs)
 	post := d.backend.Stats()
+	wcPost := d.problem.Engine.WindowCacheStats()
+	dqPost, _ := d.problem.Engine.DeltaStats()
+	d.genWinHits = wcPost.Hits - wcPre.Hits
+	d.genWinMisses = wcPost.Misses - wcPre.Misses
+	d.genWinEvicted = wcPost.Evicted - wcPre.Evicted
+	d.genDeltaQueries = dqPost - dqPre
 	// Hedged duplicates are scored twice (primary and hedge copy) but
 	// answer one candidate; subtracting the stale copies keeps the
 	// journal identity evaluated + cache_hits + abandoned + estimated ==
@@ -589,6 +622,10 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 		SurrogateMAE:       d.genSurrMAE,
 		StolenBatches:      d.genStolen,
 		HedgedWins:         d.genHedgedWins,
+		WinCacheHits:       d.genWinHits,
+		WinCacheMisses:     d.genWinMisses,
+		WinCacheEvicted:    d.genWinEvicted,
+		DeltaQueries:       d.genDeltaQueries,
 		EvalWallMS:         float64(d.genEvalWall) / float64(time.Millisecond),
 		GenWallMS:          float64(genWall) / float64(time.Millisecond),
 	}

@@ -190,12 +190,14 @@ func WrapPool(pool *cluster.Pool) *PoolBackend {
 
 // EvaluateAll scores seqs on the in-process pool. Cancellation is
 // observed at call entry only: an in-flight in-process batch is bounded
-// by the pool's own makespan, so the round is allowed to finish.
+// by the pool's own makespan, so the round is allowed to finish. The
+// context is forwarded so generation ancestry attached upstream
+// (cluster.WithParentHints) reaches the pool's batched preprocessing.
 func (b *PoolBackend) EvaluateAll(ctx context.Context, seqs []seq.Sequence) ([]cluster.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results := b.pool.EvaluateAll(seqs)
+	results := b.pool.EvaluateAllContext(ctx, seqs)
 	b.c.observeResults(results)
 	return results, nil
 }

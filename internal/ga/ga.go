@@ -88,6 +88,28 @@ type Individual struct {
 	Fitness float64
 }
 
+// Op identifies the genetic operation that produced an individual.
+type Op uint8
+
+const (
+	OpInit      Op = iota // initial/supplied population; no recorded parent
+	OpCopy                // verbatim copy of one parent
+	OpMutate              // per-residue point mutation of one parent
+	OpCrossover           // tail exchange between two parents
+)
+
+// Provenance records how one slot of the current population was
+// constructed: the operation and the slot indices, in the previous
+// (just evaluated) generation, of its parents. ParentB is -1 except for
+// crossover. For crossover children ParentA is the primary parent (the
+// one contributing the child's prefix), which batched evaluation uses
+// as the base of incremental (delta) preprocessing.
+type Provenance struct {
+	Op      Op
+	ParentA int
+	ParentB int
+}
+
 // Evaluator assigns a fitness in [0,1] to every sequence of a generation.
 // Implementations parallelize internally (the master/worker engine in
 // package cluster is one).
@@ -124,6 +146,7 @@ type Engine struct {
 	eval          Evaluator
 	sampler       *seq.Sampler
 	pop           []Individual
+	prov          []Provenance // how each pop slot was built; nil when unknown
 	lastEvaluated []Individual
 	generation    int
 	bestEver      Individual
@@ -172,6 +195,13 @@ func (e *Engine) LastEvaluated() []Individual { return e.lastEvaluated }
 // it appeared in.
 func (e *Engine) BestEver() (Individual, int) { return e.bestEver, e.bestGen }
 
+// Provenance returns how each slot of the current population was
+// constructed, with parent indices referring to LastEvaluated. It is
+// nil when ancestry is unknown (initial, supplied, or restored
+// populations). The slice is owned by the engine; treat it as
+// read-only.
+func (e *Engine) Provenance() []Provenance { return e.prov }
+
 // slotRNG derives the deterministic random stream for one construction
 // slot. SplitMix64-style hashing decorrelates nearby (gen, slot) pairs.
 func (e *Engine) slotRNG(gen, slot int) *rand.Rand {
@@ -194,6 +224,7 @@ func (e *Engine) InitPopulation() {
 			Seq: seq.RandomFrom(rng, fmt.Sprintf("g0s%04d", i), e.params.SeqLen, e.sampler),
 		}
 	}
+	e.prov = nil
 	e.generation = 0
 }
 
@@ -208,6 +239,7 @@ func (e *Engine) SetPopulation(seqs []seq.Sequence) error {
 	for i, s := range seqs {
 		e.pop[i] = Individual{Seq: s}
 	}
+	e.prov = nil
 	return nil
 }
 
@@ -275,7 +307,7 @@ func (e *Engine) Step() Stats {
 	st.BestEverGen = e.bestGen
 
 	e.lastEvaluated = append(e.lastEvaluated[:0], e.pop...)
-	e.pop = e.nextGeneration()
+	e.pop, e.prov = e.nextGeneration()
 	e.generation++
 	return st
 }
@@ -286,7 +318,7 @@ func (e *Engine) Step() Stats {
 // order or thread count. When a stage observer is installed, the time
 // spent in each operator is accumulated across the generation and
 // reported once per stage.
-func (e *Engine) nextGeneration() []Individual {
+func (e *Engine) nextGeneration() ([]Individual, []Provenance) {
 	cum := make([]float64, len(e.pop))
 	total := 0.0
 	for i := range e.pop {
@@ -295,6 +327,7 @@ func (e *Engine) nextGeneration() []Individual {
 	}
 	gen := e.generation + 1
 	next := make([]Individual, 0, e.params.PopulationSize)
+	prov := make([]Provenance, 0, e.params.PopulationSize)
 	var copyDur, mutateDur, crossDur time.Duration
 	for slot := 0; len(next) < e.params.PopulationSize; slot++ {
 		rng := e.slotRNG(gen, slot)
@@ -305,25 +338,29 @@ func (e *Engine) nextGeneration() []Individual {
 		}
 		switch {
 		case op < e.params.PCopy:
-			parent := e.selectParent(rng, cum, total)
-			next = append(next, Individual{Seq: parent.Seq})
+			pi := e.selectParent(rng, cum, total)
+			next = append(next, Individual{Seq: e.pop[pi].Seq})
+			prov = append(prov, Provenance{Op: OpCopy, ParentA: pi, ParentB: -1})
 			if e.observe != nil {
 				copyDur += time.Since(begin)
 			}
 		case op < e.params.PCopy+e.params.PMutate:
-			parent := e.selectParent(rng, cum, total)
-			child := seq.Mutate(rng, parent.Seq, e.params.PMutateAA, e.sampler)
+			pi := e.selectParent(rng, cum, total)
+			child := seq.Mutate(rng, e.pop[pi].Seq, e.params.PMutateAA, e.sampler)
 			next = append(next, Individual{Seq: child})
+			prov = append(prov, Provenance{Op: OpMutate, ParentA: pi, ParentB: -1})
 			if e.observe != nil {
 				mutateDur += time.Since(begin)
 			}
 		default:
-			pa := e.selectParent(rng, cum, total)
-			pb := e.selectParent(rng, cum, total)
-			ca, cb := seq.Crossover(rng, pa.Seq, pb.Seq, e.params.CrossoverMargin)
+			ia := e.selectParent(rng, cum, total)
+			ib := e.selectParent(rng, cum, total)
+			ca, cb := seq.Crossover(rng, e.pop[ia].Seq, e.pop[ib].Seq, e.params.CrossoverMargin)
 			next = append(next, Individual{Seq: ca})
+			prov = append(prov, Provenance{Op: OpCrossover, ParentA: ia, ParentB: ib})
 			if len(next) < e.params.PopulationSize {
 				next = append(next, Individual{Seq: cb})
+				prov = append(prov, Provenance{Op: OpCrossover, ParentA: ib, ParentB: ia})
 			}
 			if e.observe != nil {
 				crossDur += time.Since(begin)
@@ -335,15 +372,15 @@ func (e *Engine) nextGeneration() []Individual {
 		e.observe("ga_mutate", mutateDur)
 		e.observe("ga_crossover", crossDur)
 	}
-	return next
+	return next, prov
 }
 
-// selectParent draws an individual with probability proportional to its
-// fitness relative to the population; when every fitness is zero the draw
-// is uniform.
-func (e *Engine) selectParent(rng *rand.Rand, cum []float64, total float64) *Individual {
+// selectParent draws an individual's index with probability proportional
+// to its fitness relative to the population; when every fitness is zero
+// the draw is uniform.
+func (e *Engine) selectParent(rng *rand.Rand, cum []float64, total float64) int {
 	if total <= 0 {
-		return &e.pop[rng.Intn(len(e.pop))]
+		return rng.Intn(len(e.pop))
 	}
 	u := rng.Float64() * total
 	lo, hi := 0, len(cum)-1
@@ -355,7 +392,7 @@ func (e *Engine) selectParent(rng *rand.Rand, cum []float64, total float64) *Ind
 			hi = mid
 		}
 	}
-	return &e.pop[lo]
+	return lo
 }
 
 // Termination describes when a run stops (paper Section 4.2: run at

@@ -350,3 +350,80 @@ func TestLastEvaluated(t *testing.T) {
 		t.Errorf("LastEvaluated best %f != Stats.Best %f", bestFit, st.Best)
 	}
 }
+
+func TestProvenanceTracksAncestry(t *testing.T) {
+	e, err := New(smallParams(), countingEvaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InitPopulation()
+	if e.Provenance() != nil {
+		t.Fatal("initial population has provenance")
+	}
+	for step := 0; step < 3; step++ {
+		prev := append([]Individual(nil), e.Population()...)
+		e.Step()
+		prov := e.Provenance()
+		pop := e.Population()
+		if len(prov) != len(pop) {
+			t.Fatalf("step %d: %d provenance records for %d individuals", step, len(prov), len(pop))
+		}
+		ops := map[Op]int{}
+		for i, p := range prov {
+			ops[p.Op]++
+			if p.ParentA < 0 || p.ParentA >= len(prev) {
+				t.Fatalf("slot %d: parent A %d out of range", i, p.ParentA)
+			}
+			pa := prev[p.ParentA].Seq
+			switch p.Op {
+			case OpCopy:
+				if pop[i].Seq.Residues() != pa.Residues() {
+					t.Fatalf("slot %d: copy differs from parent", i)
+				}
+				if p.ParentB != -1 {
+					t.Fatalf("slot %d: copy has second parent %d", i, p.ParentB)
+				}
+			case OpMutate:
+				if pop[i].Seq.Len() != pa.Len() {
+					t.Fatalf("slot %d: mutant length changed", i)
+				}
+				if p.ParentB != -1 {
+					t.Fatalf("slot %d: mutant has second parent %d", i, p.ParentB)
+				}
+			case OpCrossover:
+				if p.ParentB < 0 || p.ParentB >= len(prev) {
+					t.Fatalf("slot %d: parent B %d out of range", i, p.ParentB)
+				}
+				// The primary parent contributes the prefix (cut points sit
+				// at least CrossoverMargin in, so prefixes are non-trivial).
+				if pop[i].Seq.Residues()[:e.params.CrossoverMargin] != pa.Residues()[:e.params.CrossoverMargin] {
+					t.Fatalf("slot %d: crossover prefix not from primary parent", i)
+				}
+			default:
+				t.Fatalf("slot %d: unexpected op %d", i, p.Op)
+			}
+		}
+		if ops[OpCopy] == 0 || ops[OpMutate] == 0 || ops[OpCrossover] == 0 {
+			t.Fatalf("step %d: operation mix missing a kind: %v", step, ops)
+		}
+	}
+	// Supplied and restored populations drop ancestry.
+	seqs := make([]seq.Sequence, len(e.Population()))
+	for i, ind := range e.Population() {
+		seqs[i] = ind.Seq
+	}
+	if err := e.SetPopulation(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if e.Provenance() != nil {
+		t.Fatal("SetPopulation kept provenance")
+	}
+	e.Step()
+	best, bestGen := e.BestEver()
+	if err := e.Restore(e.Generation(), seqs, best, bestGen); err != nil {
+		t.Fatal(err)
+	}
+	if e.Provenance() != nil {
+		t.Fatal("Restore kept provenance")
+	}
+}

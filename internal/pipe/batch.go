@@ -1,0 +1,140 @@
+package pipe
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seq"
+	"repro/internal/simindex"
+)
+
+// This file is the generation-aware batch scoring path. GA populations
+// are massively redundant — exact copies, point mutants sharing all but
+// <= w windows per edit with their parent, crossover children sharing
+// both parents' windows — and the window search is a pure function of
+// window content, so the batch path removes the redundancy without
+// touching a float: profiles produced here are bit-identical to the
+// sequential NewQuery path (asserted by the golden batch suite).
+
+// NewQueryBatch preprocesses a whole generation at once: identical
+// window content is searched once per batch, the engine's window cache
+// supplies content seen in earlier generations (or in the natural
+// proteome, which pre-seeds it), and only genuinely novel windows are
+// searched. nThreads bounds total parallelism (<= 0 means GOMAXPROCS).
+// out[i] is bit-identical to NewQuery(seqs[i], ...).
+func (e *Engine) NewQueryBatch(seqs []seq.Sequence, nThreads int) []*Query {
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	profiles := e.index.SequenceSimilarityBatch(seqs, nThreads, e.winCache)
+	out := make([]*Query, len(seqs))
+	workers := nThreads
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	if workers <= 1 {
+		for i, s := range seqs {
+			out[i] = e.newQueryFromProfile(s, profiles[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < len(seqs); i += workers {
+				out[i] = e.newQueryFromProfile(seqs[i], profiles[i])
+			}
+		}(t)
+	}
+	wg.Wait()
+	return out
+}
+
+// NewQueryDelta preprocesses child incrementally from its parent's
+// query: an edit at position p invalidates only the <= w windows
+// overlapping p, so only those are re-resolved (cache first). Exact for
+// any same-length parent — a wrong parent costs searches, never
+// accuracy — and degrades to a cached full build otherwise. A nil
+// parent is a plain cached build.
+func (e *Engine) NewQueryDelta(parent *Query, child seq.Sequence, nThreads int) *Query {
+	if parent == nil {
+		return e.newQueryFromProfile(child, e.index.SequenceSimilarityCached(child, nThreads, e.winCache))
+	}
+	prof, reused := e.index.SequenceSimilarityDelta(parent.Seq, parent.prof, child, nThreads, e.winCache)
+	e.deltaQueries.Add(1)
+	e.deltaReused.Add(int64(reused))
+	return e.newQueryFromProfile(child, prof)
+}
+
+// ScoreBatch computes PIPE(seqs[i], ids[j]) for the whole generation:
+// batched preprocessing (NewQueryBatch) followed by the per-pair
+// scoring loop across nThreads workers. out[i][j] is bit-identical to
+// the sequential NewQuery+Score path for the same pair.
+func (e *Engine) ScoreBatch(seqs []seq.Sequence, ids []int, nThreads int) [][]float64 {
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	queries := e.NewQueryBatch(seqs, nThreads)
+	return e.scoreQueries(queries, ids, nThreads)
+}
+
+// scoreQueries runs the per-pair scoring loop over prebuilt queries,
+// work-sharing the flattened (query, id) task space.
+func (e *Engine) scoreQueries(queries []*Query, ids []int, nThreads int) [][]float64 {
+	out := make([][]float64, len(queries))
+	for i := range out {
+		out[i] = make([]float64, len(ids))
+	}
+	total := len(queries) * len(ids)
+	if total == 0 {
+		return out
+	}
+	if nThreads > total {
+		nThreads = total
+	}
+	if nThreads <= 1 {
+		scorer := e.AcquireScorer()
+		defer e.ReleaseScorer(scorer)
+		for i, q := range queries {
+			for j, id := range ids {
+				out[i][j] = scorer.Score(q, id)
+			}
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer := e.AcquireScorer()
+			defer e.ReleaseScorer(scorer)
+			for {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= total {
+					return
+				}
+				out[k/len(ids)][k%len(ids)] = scorer.Score(queries[k/len(ids)], ids[k%len(ids)])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// WindowCacheStats snapshots the engine's window-cache counters (all
+// zero when the cache is disabled).
+func (e *Engine) WindowCacheStats() simindex.WindowCacheStats {
+	return e.winCache.Stats()
+}
+
+// DeltaStats reports how many queries were built through the
+// incremental delta path and how many windows those builds lifted from
+// parent profiles instead of re-resolving.
+func (e *Engine) DeltaStats() (queries, reusedWindows int64) {
+	return e.deltaQueries.Load(), e.deltaReused.Load()
+}

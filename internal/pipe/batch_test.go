@@ -1,0 +1,118 @@
+package pipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// The batch path must reproduce the sequential NewQuery+Score scores
+// bit-identically across seeds, thread counts, cache states (cold,
+// warm, disabled), and the point-mutation delta path. The reference
+// engine has its window cache disabled, so any cache-induced deviation
+// in the batched engine would surface as a float mismatch.
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	pr, cached := testSetup(t)
+	uncached, err := New(pr.Proteins, pr.Graph, Config{WindowCacheEntries: -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := uncached.WindowCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache reports stats: %+v", st)
+	}
+	ids := []int{0, 3, 7, 11, 19}
+	for _, seed := range []int64{1, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		seqs := make([]seq.Sequence, 0, 10)
+		for i := 0; i < 8; i++ {
+			seqs = append(seqs, seq.Random(rng, "cand", 70+rng.Intn(120), seq.YeastComposition()))
+		}
+		seqs = append(seqs, seqs[0]) // exact duplicate
+		sampler := seq.NewSampler(seq.YeastComposition())
+		seqs = append(seqs, seq.Mutate(rng, seqs[1], 0.02, sampler)) // near-duplicate
+
+		want := make([][]float64, len(seqs))
+		scorer := uncached.AcquireScorer()
+		for i, s := range seqs {
+			q := uncached.NewQuery(s, 1)
+			want[i] = make([]float64, len(ids))
+			for j, id := range ids {
+				want[i][j] = scorer.Score(q, id)
+			}
+		}
+		uncached.ReleaseScorer(scorer)
+
+		for _, threads := range []int{1, 2, 8} {
+			for pass, eng := range []*Engine{cached, uncached} {
+				got := eng.ScoreBatch(seqs, ids, threads)
+				for i := range seqs {
+					for j := range ids {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("seed %d threads %d pass %d: ScoreBatch[%d][%d] = %v, sequential %v",
+								seed, threads, pass, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+		}
+		// Second cached round is a warm-cache re-run of identical content.
+		before := cached.WindowCacheStats()
+		got := cached.ScoreBatch(seqs, ids, 4)
+		for i := range seqs {
+			for j := range ids {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("warm rerun mismatch at [%d][%d]", i, j)
+				}
+			}
+		}
+		after := cached.WindowCacheStats()
+		if after.Hits <= before.Hits {
+			t.Fatalf("warm rerun gained no cache hits: %+v -> %+v", before, after)
+		}
+	}
+}
+
+func TestNewQueryDeltaMatchesSequential(t *testing.T) {
+	pr, cached := testSetup(t)
+	uncached, err := New(pr.Proteins, pr.Graph, Config{WindowCacheEntries: -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	sampler := seq.NewSampler(seq.YeastComposition())
+	ids := []int{2, 5, 13}
+	for trial := 0; trial < 5; trial++ {
+		parentSeq := seq.Random(rng, "parent", 130, seq.YeastComposition())
+		parent := cached.NewQuery(parentSeq, 2)
+		for _, rate := range []float64{0.0, 0.01, 0.05, 0.5} {
+			child := seq.Mutate(rng, parentSeq, rate, sampler)
+			dq := cached.NewQueryDelta(parent, child, 2)
+			sq := uncached.NewQuery(child, 1)
+			scorer := cached.AcquireScorer()
+			ref := uncached.AcquireScorer()
+			for _, id := range ids {
+				if got, want := scorer.Score(dq, id), ref.Score(sq, id); got != want {
+					t.Fatalf("delta score (rate %v, id %d) = %v, sequential %v", rate, id, got, want)
+				}
+			}
+			cached.ReleaseScorer(scorer)
+			uncached.ReleaseScorer(ref)
+		}
+		// Nil parent degrades to a full cached build.
+		child := seq.Mutate(rng, parentSeq, 0.1, sampler)
+		dq := cached.NewQueryDelta(nil, child, 2)
+		sq := uncached.NewQuery(child, 1)
+		s := cached.AcquireScorer()
+		r := uncached.AcquireScorer()
+		if got, want := s.Score(dq, 5), r.Score(sq, 5); got != want {
+			t.Fatalf("nil-parent delta = %v, want %v", got, want)
+		}
+		cached.ReleaseScorer(s)
+		uncached.ReleaseScorer(r)
+	}
+	q, reused := cached.DeltaStats()
+	if q == 0 || reused == 0 {
+		t.Fatalf("delta counters never advanced: queries=%d reused=%d", q, reused)
+	}
+}

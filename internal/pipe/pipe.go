@@ -84,7 +84,25 @@ type Config struct {
 	// threshold keep gaining weight (an ablation knob — the default 1
 	// saturates at Threshold+WeightScale, which bootstraps the GA best).
 	WeightCap float64
+	// WindowCacheEntries bounds the engine's shared window-similarity
+	// cache (see simindex.WindowCache): window search results are keyed
+	// by exact residue content and reused across queries, batches, and
+	// generations, so cached profiles stay bit-identical to fresh ones.
+	// 0 means DefaultWindowCacheEntries; negative disables the cache.
+	// Purely a performance knob: it never affects scores and is not part
+	// of the database fingerprint.
+	WindowCacheEntries int
 }
+
+// DefaultWindowCacheEntries is the window-cache bound used when
+// Config.WindowCacheEntries is zero: enough for several generations of
+// candidate windows at published InSiPS population sizes (a generation
+// of 1000 candidates of a few hundred residues is ~10^5 windows), so
+// recurring content survives from one generation to the next instead of
+// being evicted mid-flight. At ~100 bytes per resident entry the bound
+// costs tens of megabytes — set Config.WindowCacheEntries on
+// memory-constrained deployments.
+const DefaultWindowCacheEntries = 1 << 19
 
 func (c Config) withDefaults() Config {
 	if c.Index.Window == 0 {
@@ -141,6 +159,14 @@ type Engine struct {
 	index   *simindex.Index
 	db      []*Query  // precomputed query context per natural protein
 	scorers sync.Pool // *Scorer reuse across batch calls
+
+	// winCache memoizes window-similarity searches across queries and
+	// generations (nil when disabled); deltaQueries/deltaReused count
+	// incremental profile builds and the windows they lifted from
+	// parents. All are concurrency-safe; none affect scores.
+	winCache     *simindex.WindowCache
+	deltaQueries atomic.Int64
+	deltaReused  atomic.Int64
 }
 
 // Query is the preprocessed form of one sequence: its similarity profile
@@ -167,6 +193,12 @@ type Query struct {
 	// (occCount[i] >= MinOcc && boxOcc[i] > 0) into a single byte.
 	boxOcc   []float64
 	eligible []bool
+	// eligCols lists the indices where eligible is true, ascending. The
+	// target-side scan in topSpecificity iterates this compacted list
+	// instead of testing eligible per cell: pure selection (an ineligible
+	// column can never push a cell), so scores are unchanged while the
+	// sweep touches only the ~30% of columns that can matter.
+	eligCols []int32
 }
 
 // Profile returns the query's CSR similarity profile (shared; read-only).
@@ -201,7 +233,10 @@ func New(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, nThreads int) (
 		go func(t int) {
 			defer wg.Done()
 			for i := t; i < len(proteins); i += nThreads {
-				e.db[i] = e.newQueryFromProfile(proteins[i], ix.SequenceSimilarity(proteins[i], 1))
+				// The cached build pre-seeds the window cache with every
+				// natural window, so generation-0 chimeras assembled from
+				// natural fragments preprocess almost entirely from cache.
+				e.db[i] = e.newQueryFromProfile(proteins[i], ix.SequenceSimilarityCached(proteins[i], 1, e.winCache))
 			}
 		}(t)
 	}
@@ -228,6 +263,10 @@ func NewFromProfiles(proteins []seq.Sequence, g *ppigraph.Graph, cfg Config, pro
 	e := newEngine(cfg, g, ix, len(proteins))
 	for i, p := range proteins {
 		e.db[i] = e.newQueryFromProfile(p, profiles[i])
+		// Warm the window cache from the shipped profiles so a loaded or
+		// broadcast database starts with the same natural-window coverage
+		// a locally built one has.
+		ix.SeedWindowCache(p, profiles[i], e.winCache)
 	}
 	return e, nil
 }
@@ -239,6 +278,11 @@ func newEngine(cfg Config, g *ppigraph.Graph, ix *simindex.Index, nProteins int)
 		index: ix,
 		db:    make([]*Query, nProteins),
 	}
+	entries := cfg.WindowCacheEntries
+	if entries == 0 {
+		entries = DefaultWindowCacheEntries
+	}
+	e.winCache = simindex.NewWindowCache(entries) // nil when entries < 0
 	e.scorers.New = func() any { return &Scorer{e: e} }
 	return e
 }
@@ -316,6 +360,9 @@ func (e *Engine) newQueryFromProfile(s seq.Sequence, prof simindex.FlatProfile) 
 	minOcc := int32(e.cfg.MinOcc)
 	for i := range q.eligible {
 		q.eligible[i] = q.occCount[i] >= minOcc && q.boxOcc[i] > 0
+		if q.eligible[i] {
+			q.eligCols = append(q.eligCols, int32(i))
+		}
 	}
 	return q
 }
@@ -465,6 +512,7 @@ func (s *Scorer) Score(q *Query, bID int) float64 {
 	touched, rowMark := s.touched, s.rowMark
 	qp, bp := &q.prof, &b.prof
 	bLookup := b.lookup
+	qEligible := q.eligible
 	// Per-cell evidence counts are only ever read by the MinEvidence
 	// filter; when that floor is zero the stamp/count bookkeeping (two
 	// extra arrays in cache, a compare and up to two stores per cell) is
@@ -502,7 +550,11 @@ func (s *Scorer) Score(q *Query, bID int) float64 {
 				}
 				base := int(pa) * m
 				row := mat[base : base+m]
-				if !s.trackEvid {
+				// Evidence counts are only ever read at query-eligible
+				// rows, so the stamp/count bookkeeping is skipped for
+				// rows the cell filter can never accept — the float
+				// accumulation itself is identical either way.
+				if !s.trackEvid || !qEligible[pa] {
 					for bi, pb := range bPos {
 						row[pb] += wa * bW[bi]
 					}
@@ -643,6 +695,20 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 		s.colAcc = make([]float32, m)
 	}
 	colAcc := s.colAcc[:m]
+	// The per-cell scan below visits only target-eligible columns (b's
+	// precomputed eligCols, trimmed to the span): an ineligible column
+	// fails the cell filter no matter what colAcc holds, so skipping it
+	// is pure selection — no float op changes and the push order over
+	// surviving cells is the ascending order the full sweep used. The
+	// vertical accumulation itself stays span-wide: sequential adds
+	// vectorize well enough that compacting them buys nothing.
+	cols := b.eligCols
+	for len(cols) > 0 && int(cols[0]) < lo {
+		cols = cols[1:]
+	}
+	for len(cols) > 0 && int(cols[len(cols)-1]) >= hi {
+		cols = cols[:len(cols)-1]
+	}
 	for j := lo; j < hi; j++ {
 		colAcc[j] = 0
 	}
@@ -671,16 +737,16 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 	// or without the sparse sweep. The filter is pure selection —
 	// dropping always-true clauses changes no float op and no push
 	// order.
-	qElig, bElig := q.eligible, b.eligible
+	qElig := q.eligible
 	evid := s.evid
 	for i := 0; i < n; i++ {
 		if (!sparseSafe || inWin > 0) && qElig[i] {
 			sa := sumA[i]
 			base := i * m
 			if minEvid == 0 {
-				for j := lo; j < hi; j++ {
+				for _, j := range cols {
 					cnt := colAcc[j]
-					if cnt >= support && bElig[j] {
+					if cnt >= support {
 						v := float64(cnt) / (sa*sumB[j] + alpha)
 						if v > 1 {
 							v = 1
@@ -691,9 +757,9 @@ func (s *Scorer) topSpecificity(q, b *Query, n, m int) float64 {
 					}
 				}
 			} else {
-				for j := lo; j < hi; j++ {
+				for _, j := range cols {
 					cnt := colAcc[j]
-					if cnt >= support && evid[base+j] >= minEvid && bElig[j] {
+					if cnt >= support && evid[base+int(j)] >= minEvid {
 						v := float64(cnt) / (sa*sumB[j] + alpha)
 						if v > 1 {
 							v = 1

@@ -363,6 +363,10 @@ func (s *jobStore) run(j *job) {
 			s.metrics.surrogateTrained.Add(int64(rec.SurrogateTrained))
 			s.metrics.stolenBatches.Add(int64(rec.StolenBatches))
 			s.metrics.hedgedWins.Add(int64(rec.HedgedWins))
+			s.metrics.winCacheHits.Add(rec.WinCacheHits)
+			s.metrics.winCacheMisses.Add(rec.WinCacheMisses)
+			s.metrics.winCacheEvicted.Add(rec.WinCacheEvicted)
+			s.metrics.deltaQueries.Add(rec.DeltaQueries)
 		},
 		OnGeneration: func(cp core.CurvePoint) {
 			j.mu.Lock()

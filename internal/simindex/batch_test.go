@@ -1,0 +1,312 @@
+package simindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func randomSeqs(t *testing.T, rng *rand.Rand, n, minLen, maxLen int) []seq.Sequence {
+	t.Helper()
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	out := make([]seq.Sequence, n)
+	for i := range out {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		s, err := seq.New("s", string(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func buildTestIndex(t *testing.T, seed int64) (*Index, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	proteome := randomSeqs(t, rng, 24, 40, 120)
+	ix, err := Build(proteome, Config{Threshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, rng
+}
+
+func eqProfile(t *testing.T, label string, got, want FlatProfile) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: profile mismatch\n got: %+v\nwant: %+v", label, got, want)
+	}
+}
+
+// The batched and cached paths must be bit-identical to the sequential
+// per-query build, across seeds, thread counts, and cache states.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		ix, rng := buildTestIndex(t, seed)
+		queries := randomSeqs(t, rng, 12, 30, 90)
+		// Duplicate a query exactly and add a point mutant: the batch
+		// dedup must not conflate distinct content.
+		sampler := seq.NewSampler(seq.UniformComposition())
+		queries = append(queries, queries[0])
+		queries = append(queries, seq.Mutate(rng, queries[1], 1.0/float64(queries[1].Len()), sampler))
+
+		want := make([]FlatProfile, len(queries))
+		for i, q := range queries {
+			want[i] = ix.SequenceSimilarity(q, 1)
+		}
+		for _, threads := range []int{1, 3, 8} {
+			got := ix.SequenceSimilarityBatch(queries, threads, nil)
+			for i := range queries {
+				eqProfile(t, "batch nocache", got[i], want[i])
+			}
+			cache := NewWindowCache(1 << 14)
+			got = ix.SequenceSimilarityBatch(queries, threads, cache) // cold
+			for i := range queries {
+				eqProfile(t, "batch cold", got[i], want[i])
+			}
+			got = ix.SequenceSimilarityBatch(queries, threads, cache) // warm
+			for i := range queries {
+				eqProfile(t, "batch warm", got[i], want[i])
+			}
+			st := cache.Stats()
+			if st.Hits == 0 {
+				t.Fatalf("warm batch recorded no cache hits: %+v", st)
+			}
+			for i, q := range queries {
+				eqProfile(t, "cached single warm", ix.SequenceSimilarityCached(q, threads, cache), want[i])
+			}
+			// A tiny cache must evict without corrupting results.
+			small := NewWindowCache(8)
+			got = ix.SequenceSimilarityBatch(queries, threads, small)
+			for i := range queries {
+				eqProfile(t, "batch tiny cache", got[i], want[i])
+			}
+			if small.Stats().Evicted == 0 {
+				t.Fatal("tiny cache never evicted")
+			}
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	ix, rng := buildTestIndex(t, 3)
+	if got := ix.SequenceSimilarityBatch(nil, 4, nil); len(got) != 0 {
+		t.Fatalf("empty batch: got %d profiles", len(got))
+	}
+	short, err := seq.New("short", "ACDEFG") // shorter than window
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append(randomSeqs(t, rng, 3, 30, 60), short)
+	got := ix.SequenceSimilarityBatch(queries, 2, NewWindowCache(1024))
+	for i, q := range queries {
+		eqProfile(t, "with short", got[i], ix.SequenceSimilarity(q, 1))
+	}
+}
+
+// The delta path must be exact for point mutants, crossover children,
+// and even a deliberately wrong parent (which only costs searches).
+func TestDeltaMatchesFull(t *testing.T) {
+	ix, rng := buildTestIndex(t, 5)
+	parents := randomSeqs(t, rng, 6, 70, 70)
+	sampler := seq.NewSampler(seq.UniformComposition())
+	cache := NewWindowCache(1 << 14)
+	for _, p := range parents {
+		pp := ix.SequenceSimilarityCached(p, 2, cache)
+		for trial := 0; trial < 4; trial++ {
+			child := seq.Mutate(rng, p, 0.05, sampler)
+			want := ix.SequenceSimilarity(child, 1)
+			got, reused := ix.SequenceSimilarityDelta(p, pp, child, 2, cache)
+			eqProfile(t, "delta mutant", got, want)
+			if child.Residues() == p.Residues() && reused != child.NumWindows(ix.cfg.Window) {
+				t.Fatalf("identical child reused %d windows, want all", reused)
+			}
+		}
+		// Wrong parent: exactness must survive.
+		wrong := parents[0]
+		if wrong.Len() == p.Len() {
+			child := seq.Mutate(rng, p, 0.02, sampler)
+			got, _ := ix.SequenceSimilarityDelta(wrong, ix.SequenceSimilarity(wrong, 1), child, 1, nil)
+			eqProfile(t, "delta wrong parent", got, ix.SequenceSimilarity(child, 1))
+		}
+	}
+	// Crossover children against either parent.
+	a, b := parents[0], parents[1]
+	ab, ba := seq.Crossover(rng, a, b, 5)
+	pa := ix.SequenceSimilarity(a, 1)
+	pb := ix.SequenceSimilarity(b, 1)
+	for _, tc := range []struct {
+		parent seq.Sequence
+		prof   FlatProfile
+		child  seq.Sequence
+	}{{a, pa, ab}, {b, pb, ba}, {a, pa, ba}} {
+		got, _ := ix.SequenceSimilarityDelta(tc.parent, tc.prof, tc.child, 2, cache)
+		eqProfile(t, "delta crossover", got, ix.SequenceSimilarity(tc.child, 1))
+	}
+}
+
+func TestWindowCacheLRU(t *testing.T) {
+	c := NewWindowCache(16) // one entry per shard
+	if NewWindowCache(0) != nil || NewWindowCache(-3) != nil {
+		t.Fatal("entries<=0 must return nil")
+	}
+	var nilCache *WindowCache
+	if _, ok := nilCache.Get("AAAA"); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilCache.Put("AAAA", nil) // must not panic
+	if st := nilCache.Stats(); st != (WindowCacheStats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+
+	val := []WinScore{{Protein: 1, Score: 42}}
+	c.Put("WINDOWAAAA", val)
+	c.Put("WINDOWAAAA", val) // duplicate: refresh only
+	got, ok := c.Get("WINDOWAAAA")
+	if !ok || !reflect.DeepEqual(got, val) {
+		t.Fatalf("get after put: %v %v", got, ok)
+	}
+	// Cached empty result is a hit, distinguished from a miss.
+	c.Put("EMPTYWINDOW", nil)
+	if v, ok := c.Get("EMPTYWINDOW"); !ok || v != nil {
+		t.Fatalf("cached empty: %v %v", v, ok)
+	}
+	if _, ok := c.Get("NEVERSEEN"); ok {
+		t.Fatal("phantom hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Force evictions by overfilling one shard's worth of keys.
+	keys := make([]string, 0, 64)
+	letters := "ACDEFGHIKLMNPQRSTVWY"
+	for i := 0; i < 64; i++ {
+		k := ""
+		for j := 0; j < 6; j++ {
+			k += string(letters[(i*7+j*3)%len(letters)])
+		}
+		k += string(rune('0' + i%10))
+		keys = append(keys, k)
+		c.Put(k, val)
+	}
+	st = c.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions after overfill: %+v", st)
+	}
+	if st.Entries > 16 {
+		t.Fatalf("cache exceeded bound: %+v", st)
+	}
+}
+
+// TestWindowCacheSlabModel drives the slab cache against a straightforward
+// map+recency-list model through a long random workload of Gets and Puts
+// (including duplicate keys and hash-colliding short keys), checking every
+// lookup result and the resident-entry bound. This pins the open-addressing
+// back-shift deletion and slot recycling that the LRU eviction path relies
+// on.
+func TestWindowCacheSlabModel(t *testing.T) {
+	const bound = 64 // 4 per shard: evictions happen constantly
+	c := NewWindowCache(bound)
+	rng := rand.New(rand.NewSource(42))
+
+	type modelEnt struct {
+		val []WinScore
+		seq int // recency stamp
+	}
+	// Per-shard models mirroring the cache's sharding.
+	models := make([]map[string]*modelEnt, wcShards)
+	for i := range models {
+		models[i] = map[string]*modelEnt{}
+	}
+	perShard := (bound + wcShards - 1) / wcShards
+	tick := 0
+
+	keys := make([]string, 0, 512)
+	letters := "ACDEFGHIKLMNPQRSTVWY"
+	for i := 0; i < 512; i++ {
+		n := 1 + rng.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		keys = append(keys, string(b))
+	}
+
+	for step := 0; step < 20000; step++ {
+		key := keys[rng.Intn(len(keys))]
+		sh := int(wcHash(key) % wcShards)
+		m := models[sh]
+		tick++
+		if rng.Intn(2) == 0 { // Get
+			got, ok := c.Get(key)
+			ent, want := m[key]
+			if ok != want {
+				t.Fatalf("step %d: Get(%q) present=%v, model says %v", step, key, ok, want)
+			}
+			if ok {
+				ent.seq = tick
+				if len(got) != len(ent.val) {
+					t.Fatalf("step %d: Get(%q) len %d, want %d", step, key, len(got), len(ent.val))
+				}
+				for i := range got {
+					if got[i] != ent.val[i] {
+						t.Fatalf("step %d: Get(%q)[%d] = %+v, want %+v", step, key, i, got[i], ent.val[i])
+					}
+				}
+			}
+		} else { // Put
+			var val []WinScore
+			for i := rng.Intn(3); i > 0; i-- {
+				val = append(val, WinScore{Protein: int32(rng.Intn(100)), Score: int32(rng.Intn(50))})
+			}
+			c.Put(key, val)
+			if ent, ok := m[key]; ok {
+				ent.seq = tick // refresh only; value unchanged
+			} else {
+				if len(m) >= perShard { // model LRU eviction
+					var lruKey string
+					lruSeq := tick + 1
+					for k, e := range m {
+						if e.seq < lruSeq {
+							lruSeq, lruKey = e.seq, k
+						}
+					}
+					delete(m, lruKey)
+				}
+				m[key] = &modelEnt{val: val, seq: tick}
+			}
+		}
+	}
+	st := c.Stats()
+	var want int64
+	for _, m := range models {
+		want += int64(len(m))
+	}
+	if st.Entries != want {
+		t.Fatalf("resident entries %d, model has %d", st.Entries, want)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("workload produced no evictions")
+	}
+	// Every surviving model entry must still be retrievable with its value.
+	for _, m := range models {
+		for k, ent := range m {
+			got, ok := c.Get(k)
+			if !ok {
+				t.Fatalf("model entry %q missing from cache", k)
+			}
+			if len(got) != len(ent.val) {
+				t.Fatalf("entry %q: len %d, want %d", k, len(got), len(ent.val))
+			}
+		}
+	}
+}

@@ -15,7 +15,6 @@ package simindex
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -91,8 +90,43 @@ type Index struct {
 	cfg      Config
 	proteins []seq.Sequence
 	indices  [][]int8 // residue alphabet indices per protein
-	buckets  map[uint64][]WinRef
-	posCount int // total indexed k-mer positions
+	// flatIdx is every protein's alphabet indices in one arena
+	// (protein p occupies flatIdx[protOff[p]:protOff[p+1]]): candidate
+	// verification reads it with plain offset arithmetic instead of
+	// chasing a per-protein slice header per candidate.
+	flatIdx []int8
+	protOff []int32
+	buckets map[uint64][]WinRef
+	// Dense CSR mirror of buckets, built when the key space classes^k is
+	// small enough to index directly: denseRefs[denseOff[key]:denseOff[key+1]]
+	// replaces a map lookup per seed offset on the query hot path. nil when
+	// the key space is too large (falls back to the map).
+	denseOff  []int32
+	denseRefs []WinRef
+	// winBase[p] is the global ID of protein p's first window (prefix sum
+	// of per-protein window counts, with winBase[len] = totalWins as a
+	// sentinel); totalWins is the proteome-wide window count. Searchers
+	// dedup seed candidates with an epoch-stamped array indexed by global
+	// window ID — one load/store per candidate instead of a hash-map
+	// insert — and gid < winBase[p+1] doubles as the in-bounds test for
+	// a seeded candidate start.
+	winBase   []int32
+	totalWins int
+	searchers sync.Pool // *winSearcher, reused across query calls
+	scratch   sync.Pool // *simScratch, reused across batch/delta calls
+	posCount  int       // total indexed k-mer positions
+}
+
+// maxDenseKeys bounds the dense seed table: Murphy10^5 = 1e5 and
+// Dayhoff6^5 ~ 7.8e3 qualify; Identity20^5 = 3.2e6 does not.
+const maxDenseKeys = 1 << 20
+
+// refs returns the seed bucket for key via the dense table when built.
+func (ix *Index) refs(key uint64) []WinRef {
+	if ix.denseOff != nil {
+		return ix.denseRefs[ix.denseOff[key]:ix.denseOff[key+1]]
+	}
+	return ix.buckets[key]
 }
 
 // Build indexes the proteome. Protein IDs are positions in the slice.
@@ -119,7 +153,51 @@ func Build(proteins []seq.Sequence, cfg Config) (*Index, error) {
 			ix.posCount++
 		}
 	}
+	if keys := denseKeySpace(cfg); keys > 0 {
+		ix.denseOff = make([]int32, keys+1)
+		ix.denseRefs = make([]WinRef, ix.posCount)
+		for key, refs := range ix.buckets {
+			ix.denseOff[key+1] = int32(len(refs))
+		}
+		for key := 1; key <= keys; key++ {
+			ix.denseOff[key] += ix.denseOff[key-1]
+		}
+		for key, refs := range ix.buckets {
+			copy(ix.denseRefs[ix.denseOff[key]:], refs)
+		}
+		ix.buckets = nil // dense table supersedes the map
+	}
+	ix.winBase = make([]int32, len(proteins)+1)
+	ix.protOff = make([]int32, len(proteins)+1)
+	flatLen := 0
+	for p, s := range proteins {
+		ix.winBase[p] = int32(ix.totalWins)
+		if n := s.Len() - cfg.Window + 1; n > 0 {
+			ix.totalWins += n
+		}
+		ix.protOff[p] = int32(flatLen)
+		flatLen += len(ix.indices[p])
+	}
+	ix.winBase[len(proteins)] = int32(ix.totalWins)
+	ix.protOff[len(proteins)] = int32(flatLen)
+	ix.flatIdx = make([]int8, 0, flatLen)
+	for _, idx := range ix.indices {
+		ix.flatIdx = append(ix.flatIdx, idx...)
+	}
 	return ix, nil
+}
+
+// denseKeySpace returns classes^SeedLen when it fits under maxDenseKeys,
+// else 0 (dense table disabled).
+func denseKeySpace(cfg Config) int {
+	keys := 1
+	for i := 0; i < cfg.SeedLen; i++ {
+		keys *= cfg.Reduced.Classes()
+		if keys > maxDenseKeys {
+			return 0
+		}
+	}
+	return keys
 }
 
 // Config returns the configuration the index was built with.
@@ -152,7 +230,7 @@ func (ix *Index) SimilarWindows(query []int8, qpos int) []Hit {
 		if !ok {
 			continue
 		}
-		for _, ref := range ix.buckets[key] {
+		for _, ref := range ix.refs(key) {
 			start := int(ref.Pos) - off
 			if start < 0 {
 				continue
@@ -224,56 +302,17 @@ func (p Profile) SimilarProteins() []int32 {
 // proteome using nThreads parallel workers over the query's windows
 // (nThreads <= 0 means GOMAXPROCS). This mirrors the "build specified
 // portion of sequence_similarity ... in parallel" step of Algorithm 2.
-// Workers accumulate thread-local map profiles; the merge emits the flat
-// CSR form directly, so no map survives onto the scoring path.
+// Workers aggregate each window's hits into reusable slice-backed
+// accumulators (no per-window maps survive onto the scoring path); the
+// per-window lists are then assembled into the flat CSR form through
+// the same sorted emission as mergeFlat, so output is bit-identical to
+// the original map-and-merge implementation.
 func (ix *Index) SequenceSimilarity(query seq.Sequence, nThreads int) FlatProfile {
-	return ix.sequenceSimilarity(query, nThreads, (*Index).SimilarWindows)
+	return ix.sequenceSimilarityAgg(query, nThreads, false, nil)
 }
 
 // BruteSequenceSimilarity is SequenceSimilarity using the exhaustive
 // search; for tests and the seeding ablation.
 func (ix *Index) BruteSequenceSimilarity(query seq.Sequence, nThreads int) FlatProfile {
-	return ix.sequenceSimilarity(query, nThreads, (*Index).BruteSimilarWindows)
-}
-
-func (ix *Index) sequenceSimilarity(query seq.Sequence, nThreads int, search func(*Index, []int8, int) []Hit) FlatProfile {
-	w := ix.cfg.Window
-	nw := query.NumWindows(w)
-	if nw <= 0 {
-		return FlatProfile{Offsets: []int32{0}}
-	}
-	if nThreads <= 0 {
-		nThreads = runtime.GOMAXPROCS(0)
-	}
-	if nThreads > nw {
-		nThreads = nw
-	}
-	qidx := query.Indices()
-	partial := make([]Profile, nThreads)
-	var wg sync.WaitGroup
-	for t := 0; t < nThreads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			prof := make(Profile)
-			for i := t; i < nw; i += nThreads {
-				for _, hit := range search(ix, qidx, i) {
-					list := prof[hit.Protein]
-					if n := len(list); n > 0 && list[n-1].Pos == int32(i) {
-						// Same query window, another similar window of the
-						// same protein: keep the best score.
-						if hit.Score > list[n-1].Score {
-							list[n-1].Score = hit.Score
-						}
-						prof[hit.Protein] = list
-					} else {
-						prof[hit.Protein] = append(list, PosScore{Pos: int32(i), Score: hit.Score})
-					}
-				}
-			}
-			partial[t] = prof
-		}(t)
-	}
-	wg.Wait()
-	return mergeFlat(partial)
+	return ix.sequenceSimilarityAgg(query, nThreads, true, nil)
 }

@@ -81,6 +81,27 @@ func (m *Matrix) WindowScoreIdx(a []int8, ai int, b []int8, bi int, w int) int {
 	return s
 }
 
+// WindowRowsInto fills dst with the score-table rows of the w residues
+// a[ai:ai+w] (dst must have length >= w). A verification loop over many
+// candidates against the same query window then costs one table index
+// per position (rows[k][b[bi+k]]) instead of two.
+func (m *Matrix) WindowRowsInto(dst []*[seq.NumAminoAcids]int8, a []int8, ai, w int) {
+	for k := 0; k < w; k++ {
+		dst[k] = &m.scores[a[ai+k]]
+	}
+}
+
+// WindowScoreRows is WindowScoreIdx against pre-fetched query rows from
+// WindowRowsInto: score of b[bi:bi+w] against the window the rows were
+// built from.
+func WindowScoreRows(rows []*[seq.NumAminoAcids]int8, b []int8, bi, w int) int {
+	s := 0
+	for k := 0; k < w; k++ {
+		s += int(rows[k][b[bi+k]])
+	}
+	return s
+}
+
 // SelfScore returns the score of the fragment against itself — the
 // maximum any other fragment can reach against it under a matrix whose
 // diagonal dominates (true for PAM120 and BLOSUM62).

@@ -153,6 +153,13 @@ func TestSurrogateRunDeterministic(t *testing.T) {
 			rec.TimeUnixMS = 0
 			rec.EvalWallMS = 0
 			rec.GenWallMS = 0
+			// Window-cache telemetry depends on what earlier runs against
+			// the shared engine already cached; like wall times, it is
+			// performance accounting, not part of the deterministic result.
+			rec.WinCacheHits = 0
+			rec.WinCacheMisses = 0
+			rec.WinCacheEvicted = 0
+			rec.DeltaQueries = 0
 			recs = append(recs, *rec)
 		}
 		d, err := core.NewDesigner(core.Problem{Engine: eng, TargetID: 0, NonTargetIDs: []int{1, 2}}, opts)
