@@ -4,7 +4,7 @@
 //	go run ./cmd/docscheck            # check the working tree
 //	go run ./cmd/docscheck -root dir  # check another checkout
 //
-// It enforces two invariants the test suite cannot:
+// It enforces three invariants the test suite cannot:
 //
 //  1. Every package (except external _test packages) carries a package
 //     doc comment, so `go doc` works everywhere.
@@ -13,6 +13,10 @@
 //     the binaries. Flags are discovered by parsing the source for
 //     flag.String/Bool/... calls — adding a flag without documenting it
 //     fails CI.
+//  3. Every HTTP route insipsd registers (the "METHOD /path" patterns
+//     passed to mux.HandleFunc in internal/server) appears verbatim in
+//     docs/API.md, so the API reference cannot silently fall behind the
+//     service — adding a route without documenting it fails CI.
 //
 // Exit status is non-zero when any violation is found; each violation
 // prints one line.
@@ -43,6 +47,7 @@ func main() {
 
 	checkPackageDocs(*root, report)
 	checkREADMEFlags(*root, report)
+	checkAPIRoutes(*root, report)
 
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
@@ -169,6 +174,72 @@ func binaryFlags(dir string, report func(string, ...any)) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// serverRoutes parses internal/server and returns every "METHOD /path"
+// pattern registered with a HandleFunc call (the Go 1.22 ServeMux
+// method-pattern convention).
+func serverRoutes(root string, report func(string, ...any)) []string {
+	dir := filepath.Join(root, "internal", "server")
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		report("docscheck: parsing %s: %v", dir, err)
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "HandleFunc" || len(call.Args) < 1 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				pattern, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				// Only "METHOD /path" patterns count as routes.
+				method, _, found := strings.Cut(pattern, " ")
+				if found && method == strings.ToUpper(method) && method != "" {
+					seen[pattern] = true
+				}
+				return true
+			})
+		}
+	}
+	routes := make([]string, 0, len(seen))
+	for r := range seen {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	return routes
+}
+
+// checkAPIRoutes requires every registered insipsd route to appear
+// verbatim (as "METHOD /path") in docs/API.md.
+func checkAPIRoutes(root string, report func(string, ...any)) {
+	api, err := os.ReadFile(filepath.Join(root, "docs", "API.md"))
+	if err != nil {
+		report("docscheck: %v", err)
+		return
+	}
+	body := string(api)
+	for _, route := range serverRoutes(root, report) {
+		if !strings.Contains(body, route) {
+			report("docscheck: route %q is not documented in docs/API.md", route)
+		}
+	}
 }
 
 // checkREADMEFlags requires every flag of every cmd/ binary to appear in

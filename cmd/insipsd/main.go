@@ -20,6 +20,14 @@
 // running design jobs finish (up to -drain-timeout, then they are
 // cancelled — jobs stop within one generation), and the process exits.
 //
+// Scale-out: -store-dir points every replica at a shared persistent job
+// store (requires -journal-dir on the same shared storage). Replicas
+// claim jobs under a -job-lease; a killed replica's jobs are recovered
+// by peers and resumed from their checkpoints, and a drained replica
+// hands its running jobs back for immediate pickup. -tenants enables
+// API keys, per-tenant rate limits and weighted fair-share admission.
+// See docs/OPERATIONS.md and docs/CAPACITY.md.
+//
 // Observability: -log-level enables structured slog tracing (add
 // -log-json for JSON lines); -journal-dir gives every design job a run
 // journal with periodic checkpoints under <dir>/<job-id>/; per-stage
@@ -41,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
@@ -66,6 +75,11 @@ func main() {
 		logLevel     = flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = off)")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		storeDir     = flag.String("store-dir", "", "persistent job store directory shared by all replicas (empty = in-memory single-node mode)")
+		replicaID    = flag.String("replica-id", "", "replica name in job leases and logs (default insipsd-<pid>)")
+		jobLease     = flag.Duration("job-lease", 15*time.Second, "job ownership lease; a dead replica's jobs are recovered after this (-store-dir mode)")
+		pollInterval = flag.Duration("poll-interval", 250*time.Millisecond, "idle job-claim retry cadence (-store-dir mode)")
+		tenantsPath  = flag.String("tenants", "", "JSON tenant file enabling API keys, rate limits and fair-share admission (empty = open access)")
 	)
 	flag.Parse()
 
@@ -101,6 +115,26 @@ func main() {
 		Logger:          logger,
 		JournalDir:      *journalDir,
 		CheckpointEvery: *ckptEvery,
+		ReplicaID:       *replicaID,
+		JobLease:        *jobLease,
+		PollInterval:    *pollInterval,
+	}
+	if *storeDir != "" {
+		if *journalDir == "" {
+			log.Fatal("-store-dir requires -journal-dir (checkpoints must be on storage shared by all replicas)")
+		}
+		store, err := jobstore.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	if *tenantsPath != "" {
+		tenants, err := server.LoadTenantsFile(*tenantsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = tenants
 	}
 	if *dbPath != "" {
 		// Check staleness up front with a clear remedy, rather than
@@ -160,7 +194,11 @@ func main() {
 			log.Printf("drain: cancelled remaining jobs: %v", err)
 		}
 	}()
-	log.Printf("serving on %s (workers %d, queue %d)", *addr, *queueWorkers, *queueCap)
+	mode := "in-memory jobs"
+	if *storeDir != "" {
+		mode = "persistent store " + *storeDir
+	}
+	log.Printf("serving on %s (workers %d, queue %d, %s)", *addr, *queueWorkers, *queueCap, mode)
 	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

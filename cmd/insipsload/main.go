@@ -1,0 +1,255 @@
+// Command insipsload is the capacity-measurement load generator behind
+// docs/CAPACITY.md: it submits a batch of identical small design jobs
+// to one or more insipsd replicas, waits for every job to finish, and
+// reports sustained throughput as jobs/sec and jobs/sec/replica plus
+// submit-latency percentiles.
+//
+// Usage:
+//
+//	insipsload -addrs localhost:8081,localhost:8082 -jobs 40 \
+//	           -population 40 -generations 12 [-key <api-key>]
+//
+// Submissions round-robin across -addrs. Against a shared -store-dir
+// deployment any replica can report any job's state, so completion is
+// polled on the first address only. The job shape knobs (-population,
+// -seq-len, -generations, -workers, -threads) set the unit of work;
+// keep them fixed when comparing replica counts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type designRequest struct {
+	Target         string `json:"target"`
+	MaxNonTargets  int    `json:"max_non_targets,omitempty"`
+	Population     int    `json:"population,omitempty"`
+	SeqLen         int    `json:"seq_len,omitempty"`
+	Seed           int64  `json:"seed,omitempty"`
+	MinGenerations int    `json:"min_generations,omitempty"`
+	MaxGenerations int    `json:"max_generations,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	Threads        int    `json:"threads,omitempty"`
+}
+
+type jobJSON struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insipsload: ")
+	var (
+		addrs       = flag.String("addrs", "localhost:8080", "comma-separated replica addresses (round-robin submission)")
+		key         = flag.String("key", "", "tenant API key (X-API-Key; empty for open deployments)")
+		jobs        = flag.Int("jobs", 20, "design jobs to submit")
+		concurrency = flag.Int("concurrency", 4, "concurrent submitters")
+		target      = flag.String("target", "", "target protein name (empty = first proteome protein reported by a probe job error, required)")
+		nonTargets  = flag.Int("non-targets", 5, "max_non_targets per job")
+		population  = flag.Int("population", 40, "GA population per job")
+		seqLen      = flag.Int("seq-len", 60, "designed sequence length")
+		generations = flag.Int("generations", 10, "min=max generations per job (fixed work unit)")
+		workers     = flag.Int("workers", 1, "evaluator workers per job")
+		threads     = flag.Int("threads", 1, "threads per evaluator worker")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		pollEvery   = flag.Duration("poll", 500*time.Millisecond, "completion poll cadence")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("need -target (a proteome protein name, e.g. P000 for the synthetic fixtures)")
+	}
+	replicas := strings.Split(*addrs, ",")
+	for i := range replicas {
+		replicas[i] = strings.TrimSpace(replicas[i])
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	do := func(method, addr, path string, body any) (*http.Response, error) {
+		var rd io.Reader
+		if body != nil {
+			raw, err := json.Marshal(body)
+			if err != nil {
+				return nil, err
+			}
+			rd = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequest(method, "http://"+addr+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if *key != "" {
+			req.Header.Set("X-API-Key", *key)
+		}
+		return client.Do(req)
+	}
+
+	// Fixed-shape jobs: min_generations = max_generations pins the work
+	// unit, so throughput comparisons across replica counts are fair.
+	newReq := func(i int) designRequest {
+		return designRequest{
+			Target:         *target,
+			MaxNonTargets:  *nonTargets,
+			Population:     *population,
+			SeqLen:         *seqLen,
+			Seed:           int64(i + 1),
+			MinGenerations: *generations,
+			MaxGenerations: *generations,
+			Workers:        *workers,
+			Threads:        *threads,
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		ids       []string
+		latencies []time.Duration
+		failures  int
+	)
+	begin := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				addr := replicas[i%len(replicas)]
+				t0 := time.Now()
+				resp, err := do("POST", addr, "/v1/designs", newReq(i))
+				lat := time.Since(t0)
+				if err != nil {
+					log.Printf("submit %d to %s: %v", i, addr, err)
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				var j jobJSON
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted || json.Unmarshal(data, &j) != nil || j.ID == "" {
+					// 429 backpressure: retry the same index after a beat.
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(250 * time.Millisecond)
+						go func(i int) { next <- i }(i)
+						continue
+					}
+					log.Printf("submit %d to %s: status %d: %s", i, addr, resp.StatusCode, bytes.TrimSpace(data))
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				ids = append(ids, j.ID)
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < *jobs; i++ {
+			next <- i
+		}
+		// Leave next open for 429 retries; submission completion is
+		// detected by counting ids + failures.
+	}()
+	for {
+		mu.Lock()
+		done := len(ids)+failures >= *jobs
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Since(begin) > *timeout {
+			log.Fatal("timed out during submission")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	submitted := time.Since(begin)
+	if len(ids) == 0 {
+		log.Fatal("no job was accepted")
+	}
+
+	// Poll the first replica until every submitted job is terminal (with
+	// a shared store it sees them all; single-node deployments have only
+	// one address anyway).
+	terminal := map[string]bool{"done": true, "failed": true, "cancelled": true}
+	var failedJobs int
+	for {
+		if time.Since(begin) > *timeout {
+			log.Fatal("timed out waiting for jobs to finish")
+		}
+		resp, err := do("GET", replicas[0], "/v1/designs", nil)
+		if err != nil {
+			log.Printf("poll: %v", err)
+			time.Sleep(*pollEvery)
+			continue
+		}
+		var all []jobJSON
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &all); err != nil {
+			log.Fatalf("poll: %v: %s", err, bytes.TrimSpace(data))
+		}
+		states := make(map[string]string, len(all))
+		for _, j := range all {
+			states[j.ID] = j.State
+		}
+		doneCount, failed := 0, 0
+		for _, id := range ids {
+			if terminal[states[id]] {
+				doneCount++
+				if states[id] != "done" {
+					failed++
+				}
+			}
+		}
+		if doneCount == len(ids) {
+			failedJobs = failed
+			break
+		}
+		time.Sleep(*pollEvery)
+	}
+	elapsed := time.Since(begin)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p/100*float64(len(latencies)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return latencies[i]
+	}
+	perSec := float64(len(ids)) / elapsed.Seconds()
+	fmt.Printf("replicas            %d (%s)\n", len(replicas), strings.Join(replicas, ", "))
+	fmt.Printf("jobs completed      %d (%d submit failures, %d failed jobs)\n", len(ids), failures, failedJobs)
+	fmt.Printf("job shape           pop=%d seqlen=%d gens=%d nontargets=%d workers=%dx%d\n",
+		*population, *seqLen, *generations, *nonTargets, *workers, *threads)
+	fmt.Printf("submission window   %v\n", submitted.Round(time.Millisecond))
+	fmt.Printf("total elapsed       %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("submit latency      p50=%v p95=%v max=%v\n",
+		pct(50).Round(time.Millisecond), pct(95).Round(time.Millisecond), pct(100).Round(time.Millisecond))
+	fmt.Printf("throughput          %.3f jobs/sec\n", perSec)
+	fmt.Printf("per replica         %.3f jobs/sec/replica\n", perSec/float64(len(replicas)))
+	if failures > 0 || failedJobs > 0 {
+		os.Exit(1)
+	}
+}

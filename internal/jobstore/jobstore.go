@@ -1,0 +1,643 @@
+// Package jobstore is the persistent, multi-replica design-job store
+// behind insipsd's horizontal scale-out. The in-memory queue of PR 1
+// loses every accepted job when the process dies; this store keeps each
+// job as a durable record in a shared directory, so N stateless insipsd
+// replicas can pull from one queue and a crashed replica's jobs are
+// re-attached elsewhere (the facilitator/coordinator split of the
+// adaptive-middleware literature, one level above netcluster's task
+// leases).
+//
+// Ownership is lease-based, the same pattern netcluster applies to
+// individual evaluation tasks, lifted to whole jobs: a replica Claims a
+// pending job for a bounded lease, Renews it while the job runs, and a
+// job whose lease expires without renewal (a kill -9, an OOM, a
+// partition) becomes claimable again — the next Claim re-attaches it,
+// and the runner resumes from the job's run-journal checkpoint
+// (core.Designer.Resume), bit-identical to an uninterrupted run.
+//
+// Admission across tenants is weighted fair-share: Claim picks the
+// eligible tenant with the smallest served/weight ratio (stride
+// scheduling over a persistent per-tenant service counter), so a heavy
+// tenant flooding the queue cannot starve a light one. Orphaned
+// (lease-expired) jobs are recovered before any new work is started —
+// work conservation beats fairness for work already paid for.
+//
+// On-disk layout (everything stdlib, no external database):
+//
+//	<dir>/jobs/<id>.json  one Record per job, atomically replaced
+//	<dir>/wal.jsonl       append-only transition log (audit + forensics)
+//	<dir>/shares.json     per-tenant service counters for fair-share
+//	<dir>/seq             monotonic ID counter
+//	<dir>/.lock           cross-process flock serializing every mutation
+//
+// Every mutation runs under an exclusive flock(2) of <dir>/.lock, so
+// any number of replica processes (and goroutines within them) see
+// serialized read-modify-write transitions. Record writes are
+// temp+fsync+rename, so a crash mid-write never corrupts a record; the
+// WAL line is appended before the record swap, so the log names every
+// transition that may have happened. The store scans the jobs directory
+// on Claim/List — it is built for queues of thousands of jobs, not
+// millions (one design job costs minutes of GA time; the directory scan
+// is noise against that).
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is the lifecycle state of a stored job.
+type State string
+
+const (
+	// Pending jobs are accepted and waiting for a replica to claim them.
+	Pending State = "pending"
+	// Running jobs are owned by a replica under an active lease.
+	Running State = "running"
+	// Done, Failed and Cancelled are terminal.
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Record is one durable job. Spec is the tenant's validated submission
+// (the service stores the raw DesignRequest JSON and re-resolves it on
+// claim, so the store needs no knowledge of GA parameters); Result is
+// whatever the runner wants future readers to see (the service stores
+// the rendered job JSON).
+type Record struct {
+	ID     string          `json:"id"`
+	Tenant string          `json:"tenant"`
+	Spec   json.RawMessage `json:"spec"`
+	State  State           `json:"state"`
+
+	// Owner is the replica holding the lease while Running.
+	Owner string `json:"owner,omitempty"`
+	// LeaseExpiresMS is the Unix-millisecond deadline after which a
+	// Running job is orphaned and claimable by any replica.
+	LeaseExpiresMS int64 `json:"lease_expires_ms,omitempty"`
+	// Attempts counts claims (1 on first claim; >1 means the job was
+	// recovered or released at least once).
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered counts lease-expiry re-attachments specifically.
+	Recovered int `json:"recovered,omitempty"`
+	// CancelRequested asks the owning replica to stop; it is observed at
+	// the next Renew and the owner finishes the job as Cancelled.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	CreatedMS  int64 `json:"created_ms"`
+	StartedMS  int64 `json:"started_ms,omitempty"`
+	FinishedMS int64 `json:"finished_ms,omitempty"`
+
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// walEvent is one line of wal.jsonl.
+type walEvent struct {
+	TimeMS int64  `json:"t_ms"`
+	Event  string `json:"event"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+	From   State  `json:"from,omitempty"`
+	To     State  `json:"to,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// Sentinel errors. ErrLeaseLost is the one runners must handle: it
+// means another replica owns (or finished) the job, so the local run
+// must stop and discard its result.
+var (
+	ErrNotFound  = errors.New("jobstore: no such job")
+	ErrLeaseLost = errors.New("jobstore: lease lost (job owned by another replica or finished)")
+	ErrTerminal  = errors.New("jobstore: job already in a terminal state")
+)
+
+// Store is a handle on one store directory. Handles are cheap; every
+// replica process opens its own. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	// mu serializes goroutines within this process; the flock on .lock
+	// serializes processes. Both are held for every mutation.
+	mu    sync.Mutex
+	lockf *os.File
+
+	// now is a test seam for lease-expiry logic.
+	now func() time.Time
+}
+
+// Open creates (MkdirAll) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("jobstore: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: creating store: %w", err)
+	}
+	lockf, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: opening lock file: %w", err)
+	}
+	return &Store{dir: dir, lockf: lockf, now: time.Now}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store handle. Open records are unaffected.
+func (s *Store) Close() error { return s.lockf.Close() }
+
+// SetClock overrides the store's time source (tests).
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+// lock takes the in-process mutex and the cross-process flock.
+func (s *Store) lock() error {
+	s.mu.Lock()
+	if err := flockEx(s.lockf); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("jobstore: flock: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) unlock() {
+	_ = funlock(s.lockf)
+	s.mu.Unlock()
+}
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+// readRecord loads one record file. Caller holds the lock.
+func (s *Store) readRecord(id string) (Record, error) {
+	data, err := os.ReadFile(s.jobPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("jobstore: reading %s: %w", id, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, fmt.Errorf("jobstore: decoding %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// writeRecord atomically replaces one record file. Caller holds the lock.
+func (s *Store) writeRecord(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding %s: %w", rec.ID, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "jobs"), rec.ID+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobstore: temp record: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: writing record: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: syncing record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: closing record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.jobPath(rec.ID)); err != nil {
+		return fmt.Errorf("jobstore: installing record: %w", err)
+	}
+	return nil
+}
+
+// appendWAL logs one transition. Append-before-swap: a WAL line with no
+// matching record state means the crash hit between the two writes, and
+// the record (old state) wins. Caller holds the lock.
+func (s *Store) appendWAL(ev walEvent) error {
+	ev.TimeMS = s.now().UnixMilli()
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding wal event: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "wal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: opening wal: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("jobstore: appending wal: %w", err)
+	}
+	return nil
+}
+
+// nextID allocates the next monotonic job ID (d-000001, ...). IDs are
+// global across replicas: the counter lives in the store. Caller holds
+// the lock.
+func (s *Store) nextID() (string, error) {
+	path := filepath.Join(s.dir, "seq")
+	n := 0
+	if data, err := os.ReadFile(path); err == nil {
+		fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &n)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return "", fmt.Errorf("jobstore: reading seq: %w", err)
+	}
+	n++
+	if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", n)), 0o644); err != nil {
+		return "", fmt.Errorf("jobstore: writing seq: %w", err)
+	}
+	return fmt.Sprintf("d-%06d", n), nil
+}
+
+// Create registers a new pending job for a tenant and returns its
+// record with the store-assigned ID.
+func (s *Store) Create(tenant string, spec json.RawMessage) (Record, error) {
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	id, err := s.nextID()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		ID:        id,
+		Tenant:    tenant,
+		Spec:      spec,
+		State:     Pending,
+		CreatedMS: s.now().UnixMilli(),
+	}
+	if err := s.appendWAL(walEvent{Event: "create", ID: id, Tenant: tenant, To: Pending}); err != nil {
+		return Record{}, err
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Get returns one record.
+func (s *Store) Get(id string) (Record, error) {
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	return s.readRecord(id)
+}
+
+// List returns every record, ordered by ID (= submission order).
+func (s *Store) List() ([]Record, error) {
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
+	return s.listLocked()
+}
+
+func (s *Store) listLocked() ([]Record, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: scanning jobs: %w", err)
+	}
+	var out []Record
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		rec, err := s.readRecord(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			// A torn temp file or concurrent delete: skip, don't abort the
+			// scan — the WAL still names the job.
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// shares is the persistent per-tenant service accounting behind
+// weighted fair-share claims.
+type shares struct {
+	Served map[string]float64 `json:"served"`
+}
+
+func (s *Store) readShares() shares {
+	var sh shares
+	data, err := os.ReadFile(filepath.Join(s.dir, "shares.json"))
+	if err == nil {
+		_ = json.Unmarshal(data, &sh)
+	}
+	if sh.Served == nil {
+		sh.Served = make(map[string]float64)
+	}
+	return sh
+}
+
+func (s *Store) writeShares(sh shares) error {
+	data, err := json.Marshal(sh)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, "shares.json"), data, 0o644); err != nil {
+		return fmt.Errorf("jobstore: writing shares: %w", err)
+	}
+	return nil
+}
+
+// Claim hands the calling replica the next job to run, under a lease:
+//
+//  1. Orphaned jobs first — Running records whose lease expired are
+//     recovered in FIFO order regardless of tenant (finish work already
+//     started before admitting new work).
+//  2. Otherwise the Pending job of the fair-share winner: among tenants
+//     with pending work, the one with the smallest served/weight ratio
+//     (ties: smaller served, then tenant name), FIFO within the tenant.
+//     Tenants missing from weights get weight 1; weights <= 0 are
+//     treated as 1.
+//
+// The claimed record is marked Running with owner and lease deadline,
+// and the tenant's service counter is charged. recovered reports
+// whether the job is a lease-expiry re-attachment (the runner should
+// resume from its journal checkpoint rather than start fresh). ok is
+// false when there is nothing to claim.
+func (s *Store) Claim(owner string, lease time.Duration, weights map[string]float64) (rec Record, recovered, ok bool, err error) {
+	if err := s.lock(); err != nil {
+		return Record{}, false, false, err
+	}
+	defer s.unlock()
+	recs, err := s.listLocked()
+	if err != nil {
+		return Record{}, false, false, err
+	}
+	nowMS := s.now().UnixMilli()
+
+	var pick *Record
+	for i := range recs {
+		r := &recs[i]
+		if r.State == Running && r.LeaseExpiresMS > 0 && r.LeaseExpiresMS < nowMS {
+			pick, recovered = r, true
+			break // FIFO by ID: recs is sorted
+		}
+	}
+	sh := s.readShares()
+	if pick == nil {
+		// Fair-share pick over tenants with pending work.
+		byTenant := make(map[string]*Record)
+		for i := range recs {
+			r := &recs[i]
+			if r.State != Pending {
+				continue
+			}
+			if _, seen := byTenant[r.Tenant]; !seen {
+				byTenant[r.Tenant] = r // FIFO within tenant
+			}
+		}
+		if len(byTenant) == 0 {
+			return Record{}, false, false, nil
+		}
+		tenants := make([]string, 0, len(byTenant))
+		for t := range byTenant {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		best := tenants[0]
+		bestRatio := fairRatio(sh.Served[best], weights[best])
+		for _, t := range tenants[1:] {
+			ratio := fairRatio(sh.Served[t], weights[t])
+			switch {
+			case ratio < bestRatio:
+				best, bestRatio = t, ratio
+			case ratio == bestRatio && sh.Served[t] < sh.Served[best]:
+				best = t
+			}
+		}
+		pick = byTenant[best]
+	}
+
+	from := pick.State
+	pick.State = Running
+	pick.Owner = owner
+	pick.LeaseExpiresMS = s.now().Add(lease).UnixMilli()
+	pick.Attempts++
+	if recovered {
+		pick.Recovered++
+	}
+	if pick.StartedMS == 0 {
+		pick.StartedMS = nowMS
+	}
+	sh.Served[pick.Tenant]++
+	event := "claim"
+	if recovered {
+		event = "recover"
+	}
+	if err := s.appendWAL(walEvent{Event: event, ID: pick.ID, Tenant: pick.Tenant, Owner: owner, From: from, To: Running}); err != nil {
+		return Record{}, false, false, err
+	}
+	if err := s.writeShares(sh); err != nil {
+		return Record{}, false, false, err
+	}
+	if err := s.writeRecord(*pick); err != nil {
+		return Record{}, false, false, err
+	}
+	return *pick, recovered, true, nil
+}
+
+// fairRatio is served/weight with weight defaulting to 1.
+func fairRatio(served, weight float64) float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	return served / weight
+}
+
+// Renew extends the caller's lease and returns the fresh record (so the
+// runner observes CancelRequested). ErrLeaseLost if the job is no
+// longer owned by the caller — the local run must stop and its result
+// must be discarded.
+func (s *Store) Renew(id, owner string, lease time.Duration) (Record, error) {
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	rec, err := s.readRecord(id)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.State != Running || rec.Owner != owner {
+		return rec, fmt.Errorf("%w: %s (state %s, owner %q)", ErrLeaseLost, id, rec.State, rec.Owner)
+	}
+	rec.LeaseExpiresMS = s.now().Add(lease).UnixMilli()
+	if err := s.writeRecord(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Finish moves the caller's job to a terminal state with an optional
+// result payload. ErrLeaseLost if the caller no longer owns the job
+// (its result must be discarded: another replica owns the truth now).
+func (s *Store) Finish(id, owner string, state State, result json.RawMessage, errMsg string) (Record, error) {
+	if !state.Terminal() {
+		return Record{}, fmt.Errorf("jobstore: Finish with non-terminal state %q", state)
+	}
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	rec, err := s.readRecord(id)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.State != Running || rec.Owner != owner {
+		return rec, fmt.Errorf("%w: %s (state %s, owner %q)", ErrLeaseLost, id, rec.State, rec.Owner)
+	}
+	from := rec.State
+	rec.State = state
+	rec.Owner = ""
+	rec.LeaseExpiresMS = 0
+	rec.FinishedMS = s.now().UnixMilli()
+	rec.Result = result
+	rec.Error = errMsg
+	if err := s.appendWAL(walEvent{Event: "finish", ID: id, Tenant: rec.Tenant, Owner: owner, From: from, To: state, Note: errMsg}); err != nil {
+		return Record{}, err
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Release hands the caller's running job back to the queue (graceful
+// drain: the replica checkpoints the run, releases the job, and another
+// replica resumes it). The job returns to Pending with no owner.
+func (s *Store) Release(id, owner string) (Record, error) {
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	rec, err := s.readRecord(id)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.State != Running || rec.Owner != owner {
+		return rec, fmt.Errorf("%w: %s (state %s, owner %q)", ErrLeaseLost, id, rec.State, rec.Owner)
+	}
+	rec.State = Pending
+	rec.Owner = ""
+	rec.LeaseExpiresMS = 0
+	if err := s.appendWAL(walEvent{Event: "release", ID: id, Tenant: rec.Tenant, Owner: owner, From: Running, To: Pending}); err != nil {
+		return Record{}, err
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// RequestCancel asks for a job to stop. A Pending job is cancelled
+// immediately; a Running job gets CancelRequested set, which its owner
+// observes at the next Renew and finishes the job as Cancelled.
+// Terminal jobs return ErrTerminal.
+func (s *Store) RequestCancel(id string) (Record, error) {
+	if err := s.lock(); err != nil {
+		return Record{}, err
+	}
+	defer s.unlock()
+	rec, err := s.readRecord(id)
+	if err != nil {
+		return Record{}, err
+	}
+	switch {
+	case rec.State.Terminal():
+		return rec, fmt.Errorf("%w: %s is %s", ErrTerminal, id, rec.State)
+	case rec.State == Pending:
+		rec.State = Cancelled
+		rec.FinishedMS = s.now().UnixMilli()
+		if err := s.appendWAL(walEvent{Event: "cancel", ID: id, Tenant: rec.Tenant, From: Pending, To: Cancelled}); err != nil {
+			return Record{}, err
+		}
+	default: // Running
+		rec.CancelRequested = true
+		if err := s.appendWAL(walEvent{Event: "cancel_requested", ID: id, Tenant: rec.Tenant, Owner: rec.Owner}); err != nil {
+			return Record{}, err
+		}
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Stats is a point-in-time summary for metrics and admission control.
+type Stats struct {
+	ByState   map[State]int
+	ByTenant  map[string]int // non-terminal jobs per tenant
+	Recovered int            // total lease-expiry re-attachments
+	Served    map[string]float64
+}
+
+// Stats scans the store.
+func (s *Store) Stats() (Stats, error) {
+	if err := s.lock(); err != nil {
+		return Stats{}, err
+	}
+	defer s.unlock()
+	recs, err := s.listLocked()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		ByState:  make(map[State]int),
+		ByTenant: make(map[string]int),
+		Served:   s.readShares().Served,
+	}
+	for _, r := range recs {
+		st.ByState[r.State]++
+		st.Recovered += r.Recovered
+		if !r.State.Terminal() {
+			st.ByTenant[r.Tenant]++
+		}
+	}
+	return st, nil
+}
+
+// ReadWAL parses the store's transition log (ops tooling and tests).
+// A torn final line (crash mid-append) terminates the read silently.
+func ReadWAL(dir string) ([]map[string]any, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: reading wal: %w", err)
+	}
+	var out []map[string]any
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

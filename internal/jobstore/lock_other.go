@@ -1,0 +1,12 @@
+//go:build !unix
+
+package jobstore
+
+import "os"
+
+// Non-unix builds fall back to in-process locking only (Store.mu); the
+// multi-replica deployment documented in docs/OPERATIONS.md targets
+// unix hosts, where flock provides the cross-process serialization.
+func flockEx(*os.File) error { return nil }
+
+func funlock(*os.File) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package jobstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockEx takes an exclusive advisory lock on f, blocking until held.
+// flock locks follow the open file description, so a replica killed
+// with SIGKILL releases its lock with the file descriptor — no stale
+// lock files to clean up.
+func flockEx(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

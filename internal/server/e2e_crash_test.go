@@ -1,0 +1,211 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/internal/obs"
+	"repro/internal/seq"
+	"repro/internal/server"
+)
+
+// TestKillNineRecovery is the crash-recovery drill from
+// docs/OPERATIONS.md run for real: a replica subprocess is SIGKILLed
+// mid-job, its lease lapses, and a second replica re-attaches the
+// orphan from the shared store, resumes it from the journal checkpoint,
+// and completes it — with a journal that agrees generation-for-
+// generation with an uninterrupted run.
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash drill skipped in -short mode")
+	}
+	pr, _ := fixture(t)
+
+	// The subprocess loads the proteome from disk; write the fixture
+	// out so both processes solve the identical problem.
+	dataDir := t.TempDir()
+	proteomePath := filepath.Join(dataDir, "proteome.fasta")
+	graphPath := filepath.Join(dataDir, "graph.tsv")
+	f, err := os.Create(proteomePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTA(f, pr.Proteins, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Graph.SaveTSVFile(graphPath); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "insipsd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/insipsd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building insipsd: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	storeDir, journalDir := t.TempDir(), t.TempDir()
+	proc := exec.Command(bin,
+		"-addr", addr,
+		"-proteome", proteomePath,
+		"-graph", graphPath,
+		"-store-dir", storeDir,
+		"-journal-dir", journalDir,
+		"-replica-id", "doomed",
+		"-job-lease", "1s",
+		"-poll-interval", "20ms",
+		"-checkpoint-every", "2",
+		"-queue-workers", "1",
+	)
+	proc.Stderr = os.Stderr
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = proc.Process.Kill()
+		_, _ = proc.Process.Wait()
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica did not become healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A bounded deterministic job slow enough to be interrupted a few
+	// generations in.
+	req := tinyDesign(pr.Proteins[0].Name(), 14)
+	req.MinGenerations = 14
+	req.StallGens = 1000
+	req.NoFitnessCache = true
+	req.Population = 48
+	req.SeqLen = 80
+	req.MaxNonTargets = 4
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/designs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job server.JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %+v", resp.StatusCode, job)
+	}
+
+	// Wait for progress past a checkpoint, then kill -9 mid-generation.
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/designs/%s", base, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j server.JobJSON
+		_ = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if j.Generations >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job made no progress: %+v", j)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no drain, no release
+		t.Fatal(err)
+	}
+	_, _ = proc.Process.Wait()
+
+	// A peer replica recovers the orphan after the 1s lease lapses and
+	// runs it to completion.
+	_, tsB := newStoreServer(t, storeDir, journalDir, "rescuer", func(c *server.Config) {
+		c.JobLease = time.Second
+	})
+	done := waitJob(t, tsB, job.ID, 120*time.Second, terminal)
+	if done.State != server.JobDone {
+		t.Fatalf("recovered job finished %s (%s), want done", done.State, done.Error)
+	}
+
+	store, err := jobstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered == 0 {
+		t.Errorf("record not marked recovered: %+v", rec)
+	}
+
+	// Bit-identity: dedup the (possibly overlapping) journal by
+	// generation and compare population hashes against an uninterrupted
+	// in-process reference run of the same request.
+	refJournal := t.TempDir()
+	_, tsRef := newTestServer(t, func(c *server.Config) {
+		c.JournalDir = refJournal
+		c.CheckpointEvery = 2
+	})
+	refJob := submitJob(t, tsRef, req)
+	refDone := waitJob(t, tsRef, refJob.ID, 120*time.Second, terminal)
+	if refDone.State != server.JobDone {
+		t.Fatalf("reference run finished %s", refDone.State)
+	}
+	if done.Sequence != refDone.Sequence {
+		t.Errorf("recovered best sequence differs from uninterrupted run")
+	}
+	gotRecs, err := obs.ReadJournal(obs.JournalPath(filepath.Join(journalDir, job.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRecs, err := obs.ReadJournal(obs.JournalPath(filepath.Join(refJournal, refJob.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGen := make(map[int]string)
+	for _, r := range gotRecs {
+		if prev, ok := byGen[r.Generation]; ok && prev != r.PopHash {
+			t.Fatalf("generation %d diverged across the crash: %s vs %s", r.Generation, prev, r.PopHash)
+		}
+		byGen[r.Generation] = r.PopHash
+	}
+	if len(byGen) != len(refRecs) {
+		t.Fatalf("recovered run covered %d generations, reference %d", len(byGen), len(refRecs))
+	}
+	for _, ref := range refRecs {
+		if byGen[ref.Generation] != ref.PopHash {
+			t.Fatalf("generation %d: recovered pop hash %s != reference %s",
+				ref.Generation, byGen[ref.Generation], ref.PopHash)
+		}
+	}
+
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/ga"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/seq"
 )
@@ -420,6 +422,25 @@ func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
 	return spec, nil
 }
 
+// activeJobs counts a tenant's queued+running jobs — cluster-wide in
+// store mode (the shared store is the truth), local otherwise.
+func (s *Server) activeJobs(tenant string) int {
+	if s.store != nil {
+		st, err := s.store.Stats()
+		if err != nil {
+			return 0
+		}
+		return st.ByTenant[tenant]
+	}
+	n := 0
+	for _, snap := range s.jobs.list() {
+		if snap.Tenant == tenant && !snap.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
 func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 	var req DesignRequest
 	if !decodeJSON(w, r, &req) {
@@ -430,7 +451,44 @@ func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.jobs.submit(spec)
+	tenant := tenantFrom(r)
+	if cap := tenant.MaxActiveJobs; cap > 0 {
+		if active := s.activeJobs(tenant.Name); active >= cap {
+			s.metrics.admissionRejected.Add(1)
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q has %d active jobs (cap %d)", tenant.Name, active, cap)
+			return
+		}
+	}
+
+	if s.store != nil {
+		// Mirror the in-memory queue-full backpressure: bound the
+		// cluster-wide pending backlog by QueueCapacity.
+		if st, err := s.store.Stats(); err == nil && st.ByState[jobstore.Pending] >= s.cfg.QueueCapacity {
+			s.metrics.jobsRejected.Add(1)
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, "%v", ErrQueueFull)
+			return
+		}
+		// Durable mode: the job is persisted and claimed by whichever
+		// replica fair-share selects it — possibly not this one.
+		raw, err := json.Marshal(req)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		rec, err := s.store.Create(tenant.Name, raw)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.metrics.jobsAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, s.storeJobJSON(rec, false))
+		return
+	}
+
+	j, err := s.jobs.submit(spec, tenant.Name)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
@@ -440,31 +498,86 @@ func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.jobJSON(j.snapshot(), false))
+	writeJSON(w, http.StatusAccepted, renderJobJSON(j.snapshot(), false))
 }
 
 func (s *Server) handleDesignList(w http.ResponseWriter, r *http.Request) {
-	snaps := s.jobs.list()
-	out := make([]JobJSON, len(snaps))
-	for i, snap := range snaps {
-		out[i] = s.jobJSON(snap, false)
+	tenant := tenantFrom(r)
+	out := []JobJSON{}
+	if s.store != nil {
+		recs, err := s.store.List()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for _, rec := range recs {
+			if !s.canSee(tenant, rec.Tenant) {
+				continue
+			}
+			// Prefer the live local mirror: it carries the in-flight
+			// curve and result the store only sees at finish.
+			if j, ok := s.jobs.get(rec.ID); ok {
+				out = append(out, renderJobJSON(j.snapshot(), false))
+			} else {
+				out = append(out, s.storeJobJSON(rec, false))
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	for _, snap := range s.jobs.list() {
+		if s.canSee(tenant, snap.Tenant) {
+			out = append(out, renderJobJSON(snap, false))
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// lookupJob resolves a job ID for a tenant: the live local job when this
+// replica runs (or ran) it, else the store record. A job the tenant may
+// not see is reported as not found (no existence oracle).
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, jobstore.Record, bool) {
+	id := r.PathValue("id")
+	tenant := tenantFrom(r)
+	if j, ok := s.jobs.get(id); ok {
+		j.mu.Lock()
+		jobTenant := j.tenant
+		j.mu.Unlock()
+		if !s.canSee(tenant, jobTenant) {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+			return nil, jobstore.Record{}, false
+		}
+		return j, jobstore.Record{}, true
+	}
+	if s.store != nil {
+		rec, err := s.store.Get(id)
+		if err == nil {
+			if !s.canSee(tenant, rec.Tenant) {
+				writeError(w, http.StatusNotFound, "no job %q", id)
+				return nil, jobstore.Record{}, false
+			}
+			return nil, rec, true
+		}
+	}
+	writeError(w, http.StatusNotFound, "no job %q", id)
+	return nil, jobstore.Record{}, false
+}
+
 func (s *Server) handleDesignGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, rec, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobJSON(j.snapshot(), true))
+	if j != nil {
+		writeJSON(w, http.StatusOK, renderJobJSON(j.snapshot(), true))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.storeJobJSON(rec, true))
 }
 
 func (s *Server) handleDesignProgress(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	j, rec, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	n := 32
@@ -475,6 +588,22 @@ func (s *Server) handleDesignProgress(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n = v
+	}
+	if j == nil {
+		// The job lives on another replica (or nobody claimed it yet):
+		// serve the tail of its on-disk journal.
+		recs := s.journalRecords(rec.ID)
+		total := len(recs)
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		writeJSON(w, http.StatusOK, ProgressJSON{
+			ID:          rec.ID,
+			State:       localState(rec.State),
+			Generations: total,
+			Records:     recs,
+		})
+		return
 	}
 	recs, total := j.progressTail(n)
 	if recs == nil {
@@ -491,18 +620,98 @@ func (s *Server) handleDesignProgress(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// journalRecords reads a job's journal tail from disk (empty when the
+// job has no journal yet).
+func (s *Server) journalRecords(id string) []obs.GenerationRecord {
+	if s.cfg.JournalDir == "" {
+		return []obs.GenerationRecord{}
+	}
+	recs, err := obs.ReadJournal(obs.JournalPath(filepath.Join(s.cfg.JournalDir, id)))
+	if err != nil || recs == nil {
+		return []obs.GenerationRecord{}
+	}
+	return recs
+}
+
 func (s *Server) handleDesignCancel(w http.ResponseWriter, r *http.Request) {
+	j, _, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if s.store != nil {
+		id := r.PathValue("id")
+		// Flag the store record first so the owning replica (this one or
+		// a peer) observes the request at its next lease renewal; a
+		// pending job cancels immediately. Terminal records pass through
+		// unchanged, matching the idempotent in-memory behavior.
+		if _, err := s.store.RequestCancel(id); err != nil && !errors.Is(err, jobstore.ErrTerminal) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if j != nil {
+			snap, err := s.jobs.cancelJob(id) // prompt local interrupt
+			if err == nil {
+				writeJSON(w, http.StatusOK, renderJobJSON(snap, false))
+				return
+			}
+		}
+		rec, err := s.store.Get(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.storeJobJSON(rec, false))
+		return
+	}
 	snap, err := s.jobs.cancelJob(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobJSON(snap, false))
+	writeJSON(w, http.StatusOK, renderJobJSON(snap, false))
 }
 
-// jobJSON renders a snapshot; withCurve includes the full learning
+// storeJobJSON renders a store record for a job this replica is not
+// running. Terminal records carry the full rendered job JSON written by
+// the finishing replica; live records are reconstructed from the stored
+// request.
+func (s *Server) storeJobJSON(rec jobstore.Record, withCurve bool) JobJSON {
+	if rec.State.Terminal() && len(rec.Result) > 0 {
+		var out JobJSON
+		if err := json.Unmarshal(rec.Result, &out); err == nil && out.ID == rec.ID {
+			if !withCurve {
+				out.Curve = nil
+			}
+			return out
+		}
+	}
+	out := JobJSON{
+		ID:      rec.ID,
+		State:   localState(rec.State),
+		Created: time.UnixMilli(rec.CreatedMS),
+		Error:   rec.Error,
+	}
+	var req DesignRequest
+	if err := json.Unmarshal(rec.Spec, &req); err == nil {
+		out.Target = req.Target
+		if spec, err := s.specFromRequest(req); err == nil {
+			out.NonTargets = len(spec.NonTargetIDs)
+		}
+	}
+	if rec.StartedMS > 0 {
+		t := time.UnixMilli(rec.StartedMS)
+		out.Started = &t
+	}
+	if rec.FinishedMS > 0 {
+		t := time.UnixMilli(rec.FinishedMS)
+		out.Finished = &t
+	}
+	return out
+}
+
+// renderJobJSON renders a snapshot; withCurve includes the full learning
 // curve (job listings omit it to stay light).
-func (s *Server) jobJSON(snap jobSnapshot, withCurve bool) JobJSON {
+func renderJobJSON(snap jobSnapshot, withCurve bool) JobJSON {
 	out := JobJSON{
 		ID:          snap.ID,
 		State:       snap.State,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evalbackend"
 	"repro/internal/ga"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/seq"
@@ -73,9 +74,16 @@ const maxShards = 16
 // mu; the HTTP handlers read snapshots, the owning worker writes.
 type job struct {
 	id     string
+	tenant string
 	spec   designSpec
 	cancel context.CancelFunc
 	ctx    context.Context
+
+	// done is closed exactly once when the job reaches a local terminal
+	// outcome (finished, or — in persistent mode — released/lease-lost);
+	// SSE streams select on it.
+	done     chan struct{}
+	doneOnce sync.Once
 
 	mu         sync.Mutex
 	state      JobState
@@ -86,13 +94,44 @@ type job struct {
 	result     *core.Result
 	bestSoFar  seq.Sequence
 	errMessage string
+	// userCancel distinguishes an operator/API cancellation from a
+	// drain-triggered context cancel (persistent mode releases the job
+	// back to the queue on drain instead of finishing it as cancelled).
+	userCancel bool
 	// progress is a bounded ring of the most recent generation records
 	// (the journal stream, kept in memory for the progress endpoint).
 	progress      []obs.GenerationRecord
 	progressTotal int // records ever appended, = last generation + 1
+
+	// subs receive the live journal stream for SSE; appendProgress
+	// broadcasts non-blockingly (a slow consumer drops records — SSE
+	// clients detect the gap from the generation numbers and re-read
+	// the progress endpoint).
+	subMu sync.Mutex
+	subs  map[chan obs.GenerationRecord]struct{}
 }
 
-// appendProgress adds one generation record to the bounded ring.
+// markDone closes the job's done channel (idempotent).
+func (j *job) markDone() { j.doneOnce.Do(func() { close(j.done) }) }
+
+// subscribe registers an SSE consumer; the returned cancel removes it.
+func (j *job) subscribe(buffer int) (<-chan obs.GenerationRecord, func()) {
+	ch := make(chan obs.GenerationRecord, buffer)
+	j.subMu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan obs.GenerationRecord]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.subMu.Unlock()
+	return ch, func() {
+		j.subMu.Lock()
+		delete(j.subs, ch)
+		j.subMu.Unlock()
+	}
+}
+
+// appendProgress adds one generation record to the bounded ring and
+// fans it out to SSE subscribers.
 func (j *job) appendProgress(rec obs.GenerationRecord, limit int) {
 	j.mu.Lock()
 	j.progress = append(j.progress, rec)
@@ -101,6 +140,14 @@ func (j *job) appendProgress(rec obs.GenerationRecord, limit int) {
 	}
 	j.progressTotal++
 	j.mu.Unlock()
+	j.subMu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- rec:
+		default: // slow consumer: drop, the SSE writer resyncs by gen number
+		}
+	}
+	j.subMu.Unlock()
 }
 
 // progressTail returns up to n of the job's most recent generation
@@ -120,6 +167,7 @@ func (j *job) snapshot() jobSnapshot {
 	defer j.mu.Unlock()
 	return jobSnapshot{
 		ID:       j.id,
+		Tenant:   j.tenant,
 		Spec:     j.spec,
 		State:    j.state,
 		Created:  j.created,
@@ -134,6 +182,7 @@ func (j *job) snapshot() jobSnapshot {
 // jobSnapshot is an immutable copy of a job's observable state.
 type jobSnapshot struct {
 	ID       string
+	Tenant   string
 	Spec     designSpec
 	State    JobState
 	Created  time.Time
@@ -166,6 +215,12 @@ type jobStore struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// persist wires the durable multi-replica mode (nil = the original
+	// in-memory queue). When set, workers claim jobs from the shared
+	// jobstore instead of the channel; see persist.go.
+	persist *persistConfig
+	stop    chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // insertion order, for stable listings
@@ -175,7 +230,7 @@ type jobStore struct {
 	closed   bool
 }
 
-func newJobStore(engines *engineCache, m *metrics, workers, capacity int, oc jobObsConfig) *jobStore {
+func newJobStore(engines *engineCache, m *metrics, workers, capacity int, oc jobObsConfig, pc *persistConfig) *jobStore {
 	if oc.progressBuffer <= 0 {
 		oc.progressBuffer = 256
 	}
@@ -185,11 +240,17 @@ func newJobStore(engines *engineCache, m *metrics, workers, capacity int, oc job
 		fitcache: core.NewFitnessCache(0),
 		obs:      oc,
 		queue:    make(chan *job, capacity),
+		persist:  pc,
+		stop:     make(chan struct{}),
 		jobs:     make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		if pc != nil {
+			go s.persistWorker()
+		} else {
+			go s.worker()
+		}
 	}
 	return s
 }
@@ -198,12 +259,14 @@ func newJobStore(engines *engineCache, m *metrics, workers, capacity int, oc job
 // happens under the store lock so drain's close(queue) cannot race a
 // send; the send itself never blocks (capacity is checked by the
 // non-blocking select).
-func (s *jobStore) submit(spec designSpec) (*job, error) {
+func (s *jobStore) submit(spec designSpec, tenant string) (*job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
+		tenant:  tenant,
 		spec:    spec,
 		cancel:  cancel,
 		ctx:     ctx,
+		done:    make(chan struct{}),
 		state:   JobQueued,
 		created: time.Now(),
 	}
@@ -264,9 +327,11 @@ func (s *jobStore) cancelJob(id string) (jobSnapshot, error) {
 		return jobSnapshot{}, fmt.Errorf("server: no job %q", id)
 	}
 	j.mu.Lock()
+	j.userCancel = true
 	if j.state == JobQueued {
 		j.state = JobCancelled
 		j.finished = time.Now()
+		j.markDone()
 	}
 	j.mu.Unlock()
 	j.cancel()
@@ -290,6 +355,21 @@ func (s *jobStore) gauges() gauges {
 		Fitness:     s.fitcache.Stats(),
 	}
 	s.mu.Unlock()
+	if s.persist != nil {
+		// Store mode: the shared store is the cluster-wide truth; the
+		// local map only mirrors jobs this replica is running.
+		g.StoreMode = true
+		if st, err := s.persist.store.Stats(); err == nil {
+			cluster := make(map[JobState]int, len(st.ByState))
+			for state, n := range st.ByState {
+				cluster[localState(state)] += n
+			}
+			g.JobsByState = cluster
+			g.QueueDepth = st.ByState[jobstore.Pending]
+			g.ActiveByTenant = st.ByTenant
+			g.ServedByTenant = st.Served
+		}
+	}
 	return g
 }
 
@@ -334,6 +414,7 @@ func (s *jobStore) run(j *job) {
 			j.errMessage = err.Error()
 		}
 		j.mu.Unlock()
+		j.markDone()
 		if err != nil {
 			jobLogger.Warn("job finished", "state", state, "err", err)
 		} else {
@@ -341,10 +422,36 @@ func (s *jobStore) run(j *job) {
 		}
 	}
 
-	engine, err := s.engines.get(j.spec.Pipe)
+	designer, cleanup, err := s.prepare(j, jobLogger)
 	if err != nil {
 		finish(JobFailed, nil, err)
 		return
+	}
+	defer cleanup()
+	jobLogger.Info("job started",
+		"population", j.spec.GA.PopulationSize, "non_targets", len(j.spec.NonTargetIDs))
+	res, err := designer.RunContext(j.ctx)
+	switch {
+	case err == nil:
+		finish(JobDone, &res, nil)
+	case errors.Is(err, context.Canceled):
+		// Keep the partial result: the best sequence of the completed
+		// generations is still a valid (if under-evolved) design.
+		finish(JobCancelled, &res, nil)
+	default:
+		finish(JobFailed, nil, err)
+	}
+}
+
+// prepare assembles the designer for one job: engine lookup, backend
+// sharding, surrogate wiring, journal and progress plumbing — shared by
+// the in-memory run path and the persistent claim/resume path. The
+// returned cleanup closes the job's journal (never nil).
+func (s *jobStore) prepare(j *job, jobLogger *obs.Logger) (*core.Designer, func(), error) {
+	cleanup := func() {}
+	engine, err := s.engines.get(j.spec.Pipe)
+	if err != nil {
+		return nil, cleanup, err
 	}
 	jobCluster := j.spec.Cluster
 	jobCluster.Metrics = s.obs.stages
@@ -387,15 +494,13 @@ func (s *jobStore) run(j *job) {
 		for i := range shards {
 			pb, err := evalbackend.NewPool(engine, j.spec.TargetID, j.spec.NonTargetIDs, jobCluster)
 			if err != nil {
-				finish(JobFailed, nil, err)
-				return
+				return nil, cleanup, err
 			}
 			shards[i] = pb
 		}
 		sh, err := evalbackend.NewSharded(shards...)
 		if err != nil {
-			finish(JobFailed, nil, err)
-			return
+			return nil, cleanup, err
 		}
 		opts.Backend = sh
 	}
@@ -405,10 +510,9 @@ func (s *jobStore) run(j *job) {
 			Logger:          jobLogger,
 		})
 		if err != nil {
-			finish(JobFailed, nil, fmt.Errorf("server: opening run journal: %w", err))
-			return
+			return nil, cleanup, fmt.Errorf("server: opening run journal: %w", err)
 		}
-		defer journal.Close()
+		cleanup = func() { journal.Close() }
 		opts.Journal = journal
 	}
 	designer, err := core.NewDesigner(core.Problem{
@@ -417,28 +521,23 @@ func (s *jobStore) run(j *job) {
 		NonTargetIDs: j.spec.NonTargetIDs,
 	}, opts)
 	if err != nil {
-		finish(JobFailed, nil, err)
-		return
+		cleanup()
+		return nil, func() {}, err
 	}
-	jobLogger.Info("job started",
-		"population", j.spec.GA.PopulationSize, "non_targets", len(j.spec.NonTargetIDs))
-	res, err := designer.RunContext(j.ctx)
-	switch {
-	case err == nil:
-		finish(JobDone, &res, nil)
-	case errors.Is(err, context.Canceled):
-		// Keep the partial result: the best sequence of the completed
-		// generations is still a valid (if under-evolved) design.
-		finish(JobCancelled, &res, nil)
-	default:
-		finish(JobFailed, nil, err)
-	}
+	return designer, cleanup, nil
 }
 
 // drain stops intake and waits for queued and running jobs to finish.
 // If ctx expires first, the remaining jobs are cancelled and the wait
 // resumes until the workers exit (prompt, since RunContext observes
 // cancellation within a generation).
+//
+// In persistent mode drain is a handoff, not a wait: claim loops stop,
+// and every locally running job is cancelled immediately — RunContext
+// writes a final checkpoint on cancellation, and the runner releases
+// the job back to the shared store, where a peer replica resumes it
+// bit-identically. Pending jobs in the store are simply left for the
+// peers.
 func (s *jobStore) drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -447,8 +546,18 @@ func (s *jobStore) drain(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.stop)
+	}
+	var handoff []*job
+	if s.persist != nil {
+		for _, j := range s.jobs {
+			handoff = append(handoff, j)
+		}
 	}
 	s.mu.Unlock()
+	for _, j := range handoff {
+		j.cancel() // drain-cancel: runPersistent releases, does not finish
+	}
 
 	done := make(chan struct{})
 	go func() {

@@ -24,6 +24,15 @@ type metrics struct {
 	jobsAccepted atomic.Int64
 	jobsRejected atomic.Int64 // queue-full 429s
 
+	// Multi-tenant admission and replica lease accounting (zero in
+	// open single-node deployments).
+	rateLimited       atomic.Int64 // token-bucket 429s
+	admissionRejected atomic.Int64 // per-tenant active-job-cap 429s
+	authFailed        atomic.Int64 // 401s (missing or unknown API key)
+	jobsRecovered     atomic.Int64 // orphaned jobs re-attached from the store
+	leasesLost        atomic.Int64 // local runs abandoned to a re-attaching peer
+	jobsReleased      atomic.Int64 // running jobs handed back to the store on drain
+
 	// Surrogate pre-scorer activity across all jobs, accumulated from
 	// the per-generation journal stream.
 	surrogateEstimated atomic.Int64
@@ -89,6 +98,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (SSE) keep
+// working behind the instrumentation middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with per-route request counting and latency
 // accumulation.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
@@ -110,6 +127,11 @@ type gauges struct {
 	Draining    bool
 	CacheSize   int
 	Fitness     core.FitnessCacheStats // shared fitness memo cache
+	// Store mode only: non-terminal jobs per tenant (cluster-wide, from
+	// the shared store) and lifetime fair-share serve counts.
+	StoreMode      bool
+	ActiveByTenant map[string]int
+	ServedByTenant map[string]float64
 }
 
 // render writes the Prometheus text exposition format. Only stdlib types
@@ -138,6 +160,39 @@ func (m *metrics) render(w http.ResponseWriter, g gauges) {
 	p("insipsd_jobs_accepted_total %d", m.jobsAccepted.Load())
 	p("# HELP insipsd_jobs_rejected_total Design jobs rejected with 429 (queue full or draining).")
 	p("insipsd_jobs_rejected_total %d", m.jobsRejected.Load())
+
+	p("# HELP insipsd_rate_limited_total Requests rejected by a tenant token bucket (429).")
+	p("insipsd_rate_limited_total %d", m.rateLimited.Load())
+	p("# HELP insipsd_admission_rejected_total Design jobs rejected by a tenant's active-job cap (429).")
+	p("insipsd_admission_rejected_total %d", m.admissionRejected.Load())
+	p("# HELP insipsd_auth_failed_total Requests rejected for a missing or unknown API key (401).")
+	p("insipsd_auth_failed_total %d", m.authFailed.Load())
+	p("# HELP insipsd_jobs_recovered_total Orphaned jobs this replica re-attached from the shared store.")
+	p("insipsd_jobs_recovered_total %d", m.jobsRecovered.Load())
+	p("# HELP insipsd_leases_lost_total Local runs abandoned after a peer re-attached the job.")
+	p("insipsd_leases_lost_total %d", m.leasesLost.Load())
+	p("# HELP insipsd_jobs_released_total Running jobs handed back to the shared store on drain.")
+	p("insipsd_jobs_released_total %d", m.jobsReleased.Load())
+	if g.StoreMode {
+		tenants := make([]string, 0, len(g.ActiveByTenant))
+		for name := range g.ActiveByTenant {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		p("# HELP insipsd_tenant_active_jobs Non-terminal jobs per tenant in the shared store.")
+		for _, name := range tenants {
+			p("insipsd_tenant_active_jobs{tenant=%q} %d", name, g.ActiveByTenant[name])
+		}
+		tenants = tenants[:0]
+		for name := range g.ServedByTenant {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		p("# HELP insipsd_tenant_jobs_served_total Jobs claimed per tenant (fair-share accounting).")
+		for _, name := range tenants {
+			p("insipsd_tenant_jobs_served_total{tenant=%q} %.0f", name, g.ServedByTenant[name])
+		}
+	}
 
 	p("# HELP insipsd_engine_cache_hits_total Engine-cache lookups served from cache.")
 	p("insipsd_engine_cache_hits_total %d", m.cacheHits.Load())

@@ -22,12 +22,15 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
@@ -82,6 +85,29 @@ type Config struct {
 	// ProgressBuffer is how many recent generation records each job keeps
 	// in memory for GET /v1/designs/{id}/progress. Default 256.
 	ProgressBuffer int
+
+	// Store, if non-nil, switches the job subsystem to durable
+	// multi-replica mode: jobs are persisted in the shared jobstore,
+	// claimed under a lease by whichever replica fair-share selects
+	// them, and recovered by peers when a replica dies. Requires
+	// JournalDir (the checkpoints peers resume from live there, so it
+	// must be shared storage across replicas).
+	Store *jobstore.Store
+	// ReplicaID names this replica in leases and logs. Default
+	// "insipsd-<pid>".
+	ReplicaID string
+	// JobLease is how long a claimed job stays owned without renewal
+	// (renewal runs at a third of this). Default 15s.
+	JobLease time.Duration
+	// PollInterval is the idle claim-retry (and remote progress-follow)
+	// cadence. Default 250ms.
+	PollInterval time.Duration
+	// Tenants enables multi-tenant auth, rate limiting and fair-share
+	// admission. Empty = open single-tenant service (no auth).
+	Tenants []Tenant
+	// SSEHeartbeat is the keep-alive comment cadence on the events
+	// stream. Default 15s.
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +126,18 @@ func (c Config) withDefaults() Config {
 	if c.ProgressBuffer <= 0 {
 		c.ProgressBuffer = 256
 	}
+	if c.ReplicaID == "" {
+		c.ReplicaID = fmt.Sprintf("insipsd-%d", os.Getpid())
+	}
+	if c.JobLease <= 0 {
+		c.JobLease = 15 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 250 * time.Millisecond
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -111,6 +149,8 @@ type Server struct {
 	jobs    *jobStore
 	metrics *metrics
 	mux     *http.ServeMux
+	store   *jobstore.Store // nil in in-memory mode
+	tenants *tenantRegistry
 }
 
 // New validates the configuration and starts the worker pool. No engine
@@ -125,6 +165,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %d proteins but graph has %d vertices",
 			len(cfg.Proteins), cfg.Graph.NumProteins())
 	}
+	if cfg.Store != nil && cfg.JournalDir == "" {
+		return nil, fmt.Errorf("server: the persistent job store requires JournalDir (shared across replicas) for checkpoint recovery")
+	}
+	tenants, err := newTenantRegistry(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	m := newMetrics()
 	engines := newEngineCache(cfg.Proteins, cfg.Graph, cfg.DBPath, cfg.BuildThreads, m)
 	for _, eng := range cfg.Engines {
@@ -133,29 +180,74 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		engines: engines,
-		jobs: newJobStore(engines, m, cfg.QueueWorkers, cfg.QueueCapacity, jobObsConfig{
-			logger:          cfg.Logger,
-			stages:          cfg.Stages,
-			journalDir:      cfg.JournalDir,
-			checkpointEvery: cfg.CheckpointEvery,
-			progressBuffer:  cfg.ProgressBuffer,
-		}),
 		metrics: m,
 		mux:     http.NewServeMux(),
+		store:   cfg.Store,
+		tenants: tenants,
 	}
+	var pc *persistConfig
+	if cfg.Store != nil {
+		pc = &persistConfig{
+			store:     cfg.Store,
+			replicaID: cfg.ReplicaID,
+			lease:     cfg.JobLease,
+			poll:      cfg.PollInterval,
+			weights:   tenants.weights,
+			resolve: func(raw json.RawMessage) (designSpec, error) {
+				var req DesignRequest
+				if err := json.Unmarshal(raw, &req); err != nil {
+					return designSpec{}, fmt.Errorf("server: stored job spec: %w", err)
+				}
+				return s.specFromRequest(req)
+			},
+		}
+	}
+	s.jobs = newJobStore(engines, m, cfg.QueueWorkers, cfg.QueueCapacity, jobObsConfig{
+		logger:          cfg.Logger,
+		stages:          cfg.Stages,
+		journalDir:      cfg.JournalDir,
+		checkpointEvery: cfg.CheckpointEvery,
+		progressBuffer:  cfg.ProgressBuffer,
+	}, pc)
 	s.routes()
 	return s, nil
 }
 
+// authed wraps a /v1 handler with tenant authentication and the
+// tenant's token-bucket rate limit. Open deployments (no tenants
+// configured) pass every request through as the public tenant.
+func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := s.tenants.authenticate(r)
+		if err != nil {
+			s.metrics.authFailed.Add(1)
+			writeError(w, http.StatusUnauthorized, "%v", err)
+			return
+		}
+		if !tenant.allow(time.Now()) {
+			s.metrics.rateLimited.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q over its request rate (%.3g/s)", tenant.Name, tenant.RatePerSec)
+			return
+		}
+		ctx := context.WithValue(r.Context(), tenantCtxKey{}, tenant)
+		h(w, r.WithContext(ctx))
+	}
+}
+
 func (s *Server) routes() {
+	// /healthz and /metrics stay unauthenticated: probes and scrapers
+	// should not need tenant keys. Everything under /v1 is authed.
 	s.mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/score", s.metrics.instrument("score", s.handleScore))
-	s.mux.HandleFunc("POST /v1/designs", s.metrics.instrument("designs_create", s.handleDesignCreate))
-	s.mux.HandleFunc("GET /v1/designs", s.metrics.instrument("designs_list", s.handleDesignList))
-	s.mux.HandleFunc("GET /v1/designs/{id}", s.metrics.instrument("designs_get", s.handleDesignGet))
-	s.mux.HandleFunc("GET /v1/designs/{id}/progress", s.metrics.instrument("designs_progress", s.handleDesignProgress))
-	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.metrics.instrument("designs_cancel", s.handleDesignCancel))
+	s.mux.HandleFunc("POST /v1/score", s.metrics.instrument("score", s.authed(s.handleScore)))
+	s.mux.HandleFunc("POST /v1/designs", s.metrics.instrument("designs_create", s.authed(s.handleDesignCreate)))
+	s.mux.HandleFunc("GET /v1/designs", s.metrics.instrument("designs_list", s.authed(s.handleDesignList)))
+	s.mux.HandleFunc("GET /v1/designs/{id}", s.metrics.instrument("designs_get", s.authed(s.handleDesignGet)))
+	s.mux.HandleFunc("GET /v1/designs/{id}/progress", s.metrics.instrument("designs_progress", s.authed(s.handleDesignProgress)))
+	s.mux.HandleFunc("GET /v1/designs/{id}/events", s.metrics.instrument("designs_events", s.authed(s.handleDesignEvents)))
+	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.metrics.instrument("designs_cancel", s.authed(s.handleDesignCancel)))
 }
 
 // Handler returns the service's HTTP handler.

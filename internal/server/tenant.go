@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tenant is one API-key principal of a multi-tenant deployment. Tenants
+// replace the service's original blunt global 429 with three layers:
+//
+//   - authentication: requests without a known key are rejected (401);
+//   - per-tenant request rate limiting: a token bucket of RatePerSec
+//     and Burst governs every /v1 request (429 with Retry-After);
+//   - fair-share admission: design jobs are admitted up to
+//     MaxActiveJobs per tenant, and the replicas' claim loop serves
+//     tenants in weighted fair-share order (jobstore.Claim), so a heavy
+//     tenant flooding the queue cannot starve a light one.
+//
+// An empty tenant list runs the service open (single anonymous "public"
+// tenant, no auth, no rate limit) — the PR-1 behavior.
+type Tenant struct {
+	// Name identifies the tenant in metrics, fair-share accounting and
+	// job records. Required, unique.
+	Name string `json:"name"`
+	// Key is the API key presented as "Authorization: Bearer <key>" or
+	// "X-API-Key: <key>". Required, unique.
+	Key string `json:"key"`
+	// Weight is the tenant's fair-share weight (default 1): a weight-3
+	// tenant receives 3x the job throughput of a weight-1 tenant under
+	// contention.
+	Weight float64 `json:"weight,omitempty"`
+	// RatePerSec is the sustained /v1 request rate allowed (token
+	// bucket). 0 = unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth (default: max(1, ceil(2*RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+	// MaxActiveJobs caps the tenant's queued+running design jobs
+	// (admission control). 0 = uncapped; the service-wide queue bound
+	// (QueueCapacity) still applies.
+	MaxActiveJobs int `json:"max_active_jobs,omitempty"`
+}
+
+// LoadTenantsFile reads a JSON tenant list:
+//
+//	[{"name":"alice","key":"alice-key","weight":2,"rate_per_sec":10}, ...]
+func LoadTenantsFile(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading tenants file: %w", err)
+	}
+	var tenants []Tenant
+	if err := json.Unmarshal(data, &tenants); err != nil {
+		return nil, fmt.Errorf("server: parsing tenants file %s: %w", path, err)
+	}
+	return tenants, nil
+}
+
+// publicTenant is the anonymous principal of an open (no tenants
+// configured) deployment.
+const publicTenant = "public"
+
+var (
+	errNoKey  = errors.New("missing API key (Authorization: Bearer <key> or X-API-Key)")
+	errBadKey = errors.New("unknown API key")
+)
+
+// tenantState is a Tenant plus its live token bucket.
+type tenantState struct {
+	Tenant
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// allow spends one token, refilling at RatePerSec up to Burst.
+func (t *tenantState) allow(now time.Time) bool {
+	if t.RatePerSec <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.RatePerSec
+	} else {
+		t.tokens = float64(t.Burst)
+	}
+	if max := float64(t.Burst); t.tokens > max {
+		t.tokens = max
+	}
+	t.last = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// tenantRegistry resolves API keys and carries the fair-share weight
+// map handed to jobstore.Claim.
+type tenantRegistry struct {
+	open    bool // no tenants configured: anonymous access
+	byKey   map[string]*tenantState
+	weights map[string]float64
+}
+
+func newTenantRegistry(tenants []Tenant) (*tenantRegistry, error) {
+	r := &tenantRegistry{
+		open:    len(tenants) == 0,
+		byKey:   make(map[string]*tenantState),
+		weights: make(map[string]float64),
+	}
+	names := make(map[string]bool)
+	for i, t := range tenants {
+		if t.Name == "" || t.Key == "" {
+			return nil, fmt.Errorf("server: tenant %d needs both name and key", i)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("server: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := r.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant key (tenant %q)", t.Name)
+		}
+		if t.Weight < 0 || t.RatePerSec < 0 || t.Burst < 0 || t.MaxActiveJobs < 0 {
+			return nil, fmt.Errorf("server: tenant %q has a negative limit", t.Name)
+		}
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		if t.Burst == 0 && t.RatePerSec > 0 {
+			t.Burst = int(2*t.RatePerSec + 0.999)
+			if t.Burst < 1 {
+				t.Burst = 1
+			}
+		}
+		names[t.Name] = true
+		r.byKey[t.Key] = &tenantState{Tenant: t}
+		r.weights[t.Name] = t.Weight
+	}
+	return r, nil
+}
+
+// authenticate resolves the request's API key. Open registries accept
+// everything as the public tenant.
+func (r *tenantRegistry) authenticate(req *http.Request) (*tenantState, error) {
+	if r.open {
+		return &tenantState{Tenant: Tenant{Name: publicTenant, Weight: 1}}, nil
+	}
+	key := req.Header.Get("X-API-Key")
+	if auth := req.Header.Get("Authorization"); key == "" && auth != "" {
+		if rest, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			key = strings.TrimSpace(rest)
+		}
+	}
+	if key == "" {
+		return nil, errNoKey
+	}
+	ts, ok := r.byKey[key]
+	if !ok {
+		return nil, errBadKey
+	}
+	return ts, nil
+}
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the request's authenticated tenant (the public
+// tenant if the auth middleware did not run, e.g. in direct handler
+// tests).
+func tenantFrom(r *http.Request) *tenantState {
+	if ts, ok := r.Context().Value(tenantCtxKey{}).(*tenantState); ok {
+		return ts
+	}
+	return &tenantState{Tenant: Tenant{Name: publicTenant, Weight: 1}}
+}
+
+// canSee reports whether a tenant may observe a job. Open deployments
+// see everything; authenticated tenants see only their own jobs.
+func (s *Server) canSee(t *tenantState, jobTenant string) bool {
+	return s.tenants.open || t.Name == jobTenant
+}
