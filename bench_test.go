@@ -20,6 +20,7 @@ import (
 	"repro/internal/evalbackend"
 	"repro/internal/ga"
 	"repro/internal/pipe"
+	"repro/internal/search"
 	"repro/internal/seq"
 	"repro/internal/simindex"
 	"repro/internal/submat"
@@ -190,6 +191,58 @@ func BenchmarkFig7LearningCurve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchOverheadEval is a deterministic evaluator cheap enough that the
+// generation loop's own bookkeeping dominates each op — the quantity
+// BenchmarkSearcherOverhead compares across the Searcher seam.
+func benchOverheadEval(seqs []seq.Sequence) []float64 {
+	out := make([]float64, len(seqs))
+	for i, s := range seqs {
+		h := 0.0
+		for _, r := range s.Residues() {
+			h = h*0.99 + float64(r)
+		}
+		out[i] = h / (h + 1e6)
+	}
+	return out
+}
+
+// BenchmarkSearcherOverhead runs the same GA twice: driving ga.Engine
+// directly (the pre-refactor loop) and through the search.Searcher
+// adapter. cmd/benchpipe -check gates the searcher variant to within 2%
+// of the direct loop, bounding the seam's cost.
+func BenchmarkSearcherOverhead(b *testing.B) {
+	gp := ga.DefaultParams()
+	gp.PopulationSize = 64
+	gp.SeqLen = 60
+	const gens = 40
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gp.Seed = int64(i + 1)
+			eng, err := ga.New(gp, ga.EvaluatorFunc(benchOverheadEval))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.InitPopulation()
+			for g := 0; g < gens; g++ {
+				eng.Step()
+			}
+		}
+	})
+	b.Run("searcher", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gp.Seed = int64(i + 1)
+			s, err := search.New(search.Config{}, gp, ga.EvaluatorFunc(benchOverheadEval))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.InitPopulation()
+			for g := 0; g < gens; g++ {
+				s.Step()
+			}
+		}
+	})
 }
 
 // benchAssay builds the Table 4/5 wet-lab experiment with an ideal

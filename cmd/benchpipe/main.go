@@ -9,7 +9,9 @@
 //	benchpipe -check             run the suite and fail if the measured
 //	                             BenchmarkPIPEScore median ns/op regresses
 //	                             more than -tolerance vs the committed
-//	                             "after" numbers
+//	                             "after" numbers, or if a relative gate
+//	                             (Searcher seam vs direct GA loop) exceeds
+//	                             its own tolerance within the run
 //	benchpipe -check -input f    same, but parse an existing `go test
 //	                             -bench` output file instead of running
 //	                             (CI runs the suite once, then checks)
@@ -34,12 +36,23 @@ import (
 
 const (
 	benchFile  = "BENCH_PIPE.json"
-	benchRegex = "PIPEScore$|ScoreBatch$|WindowCache$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|ElasticDispatch|SurrogatePredict|SurrogateTrain"
+	benchRegex = "PIPEScore$|ScoreBatch$|WindowCache$|Fig3ThreadScaling|Fig7LearningCurve|QueryPreprocess|BackendDispatch|ElasticDispatch|SurrogatePredict|SurrogateTrain|SearcherOverhead"
 )
 
 // gateBenches are the benchmarks -check fails on: the per-pair scoring
 // kernel and the batched generation path the GA actually drives.
 var gateBenches = []string{"BenchmarkPIPEScore", "BenchmarkScoreBatch"}
+
+// relativeGates pin one benchmark's median to a fraction of another's
+// from the same run, so the gate is immune to machine speed. The GA
+// driven through the search.Searcher seam must stay within 2% of the
+// engine driven directly.
+var relativeGates = []struct {
+	name, base string
+	tolerance  float64
+}{
+	{"BenchmarkSearcherOverhead/searcher", "BenchmarkSearcherOverhead/direct", 0.02},
+}
 
 // Stat is the median of one benchmark's repetitions.
 type Stat struct {
@@ -146,6 +159,24 @@ func main() {
 		if ratio > *tolerance {
 			fmt.Fprintf(os.Stderr, "benchpipe: %s regressed %.1f%% (tolerance %.0f%%)\n",
 				gate, 100*ratio, 100**tolerance)
+			failed = true
+		}
+	}
+	for _, rg := range relativeGates {
+		got, ok := medians[rg.name]
+		if !ok {
+			fatal("benchmark output has no %s results", rg.name)
+		}
+		base, ok := medians[rg.base]
+		if !ok {
+			fatal("benchmark output has no %s results", rg.base)
+		}
+		ratio := got.NsPerOp/base.NsPerOp - 1
+		fmt.Printf("benchpipe: %s median %.0f ns/op vs %s %.0f ns/op (%+.1f%%)\n",
+			rg.name, got.NsPerOp, rg.base, base.NsPerOp, 100*ratio)
+		if ratio > rg.tolerance {
+			fmt.Fprintf(os.Stderr, "benchpipe: %s is %.1f%% over %s (tolerance %.0f%%)\n",
+				rg.name, 100*ratio, rg.base, 100*rg.tolerance)
 			failed = true
 		}
 	}

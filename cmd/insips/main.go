@@ -58,6 +58,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/ppigraph"
+	"repro/internal/search"
 	"repro/internal/seq"
 )
 
@@ -114,6 +115,17 @@ func main() {
 		surrogate   = flag.Bool("surrogate", false, "triage each generation through the online surrogate pre-scorer; only the predicted top candidates get full PIPE evaluations")
 		surrTopK    = flag.Float64("surrogate-topk", 0.10, "fraction of each generation forwarded to real evaluation by predicted fitness (-surrogate mode)")
 		surrExplore = flag.Float64("surrogate-explore", 0.05, "additional fraction evaluated at random as an exploration quota (-surrogate mode)")
+
+		strategy   = flag.String("strategy", "ga", "search strategy: ga, beam, anneal or landscape (docs/DESIGN.md §2.3f)")
+		beamWidth  = flag.Int("beam-width", 8, "beam width: survivors kept per generation (-strategy beam)")
+		beamExpand = flag.Int("beam-expand", 6, "children per beam node, including its survival copy (-strategy beam)")
+		beamElite  = flag.Int("beam-elite-extra", 6, "extra mutant children for the top-ranked node; 0 disables elite re-expansion (-strategy beam)")
+		beamDepth  = flag.Int("beam-depth", 0, "tree depth: overrides -max-gens with an exact generation cap (-strategy beam; 0 = use -max-gens)")
+		annealT0   = flag.Float64("anneal-t0", 0.02, "initial temperature of the geometric schedule (-strategy anneal)")
+		annealCool = flag.Float64("anneal-cooling", 0.995, "geometric cooling factor per generation, in (0,1) (-strategy anneal)")
+		annealTMin = flag.Float64("anneal-tmin", 1e-4, "temperature floor of the schedule (-strategy anneal)")
+		landEps    = flag.Float64("landscape-eps", 0.01, "neutral-walk acceptance band |Δfitness| <= eps (-strategy landscape)")
+		landPat    = flag.Int("landscape-patience", 20, "census cadence for neutral walkers and stall threshold for hill climbers (-strategy landscape)")
 
 		journalDir = flag.String("journal", "", "run-journal directory: append per-generation JSONL records and periodic checkpoints here")
 		resume     = flag.Bool("resume", false, "resume from the checkpoint in the -journal directory instead of starting fresh")
@@ -212,6 +224,38 @@ func main() {
 	} else if *hedgeFrac != 0.10 || *hedgePct != 0.90 {
 		log.Fatal("-hedge-fraction/-hedge-percentile require -hedge")
 	}
+	// Strategy flags fail fast the same way: tuning knobs for a strategy
+	// that is not selected are almost certainly operator error.
+	searchCfg := search.Config{Strategy: *strategy}
+	switch *strategy {
+	case search.StrategyGA, search.StrategyBeam, search.StrategyAnneal, search.StrategyLandscape:
+	default:
+		log.Fatalf("-strategy must be one of %v (got %q)", search.Strategies(), *strategy)
+	}
+	if *strategy != search.StrategyBeam && (*beamWidth != 8 || *beamExpand != 6 || *beamElite != 6 || *beamDepth != 0) {
+		log.Fatal("-beam-width/-beam-expand/-beam-elite-extra/-beam-depth require -strategy beam")
+	}
+	if *strategy != search.StrategyAnneal && (*annealT0 != 0.02 || *annealCool != 0.995 || *annealTMin != 1e-4) {
+		log.Fatal("-anneal-t0/-anneal-cooling/-anneal-tmin require -strategy anneal")
+	}
+	if *strategy != search.StrategyLandscape && (*landEps != 0.01 || *landPat != 20) {
+		log.Fatal("-landscape-eps/-landscape-patience require -strategy landscape")
+	}
+	if *islands > 1 && *strategy != search.StrategyGA {
+		log.Fatalf("-islands drives the genetic algorithm directly and cannot be combined with -strategy %s", *strategy)
+	}
+	switch *strategy {
+	case search.StrategyBeam:
+		elite := *beamElite
+		if elite == 0 {
+			elite = -1 // flag 0 means "no re-expansion", config 0 means "default"
+		}
+		searchCfg.Beam = search.BeamConfig{Width: *beamWidth, Expand: *beamExpand, EliteExtra: elite, Depth: *beamDepth}
+	case search.StrategyAnneal:
+		searchCfg.Anneal = search.AnnealConfig{T0: *annealT0, Cooling: *annealCool, TMin: *annealTMin}
+	case search.StrategyLandscape:
+		searchCfg.Landscape = search.LandscapeConfig{Eps: *landEps, Patience: *landPat}
+	}
 
 	if *winCache < 0 {
 		log.Fatalf("-window-cache must be >= 0 (got %d); use 0 to disable the cache", *winCache)
@@ -280,11 +324,16 @@ func main() {
 			CrossoverMargin: 10,
 			Seed:            *seed,
 		},
+		Search:      searchCfg,
 		WarmStart:   *warm,
 		Cluster:     cluster.Config{Workers: *workers, ThreadsPerWorker: *threads, Metrics: metrics},
 		Termination: ga.Termination{MinGenerations: *minGens, StallGenerations: *stall, MaxGenerations: *maxGens},
 		Logger:      logger,
 		Metrics:     metrics,
+	}
+	if *beamDepth > 0 {
+		// Beam depth is the tree's exact generation budget.
+		opts.Termination = ga.Termination{MaxGenerations: *beamDepth}
 	}
 	if *resume && *journalDir == "" {
 		log.Fatal("-resume requires -journal DIR (the directory holding the checkpoint)")
@@ -301,6 +350,17 @@ func main() {
 		}
 		defer journal.Close()
 		opts.Journal = journal
+	}
+	if *strategy == search.StrategyLandscape && *journalDir != "" {
+		// The landscape census rides alongside the journal: one JSONL
+		// record per local optimum / neutral-walk report, appended so a
+		// resumed run extends it.
+		census, err := search.NewCensusWriter(search.CensusPath(*journalDir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer census.Close()
+		opts.Search.Landscape.OnCensus = census.Append
 	}
 	if *progress > 0 {
 		opts.OnGeneration = func(cp core.CurvePoint) {

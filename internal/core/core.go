@@ -28,6 +28,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/obs"
 	"repro/internal/pipe"
+	"repro/internal/search"
 	"repro/internal/seq"
 )
 
@@ -107,6 +108,13 @@ type Options struct {
 	GA          ga.Params
 	Cluster     cluster.Config
 	Termination ga.Termination
+	// Search selects the search strategy driving the design loop. The
+	// zero value is the genetic algorithm, bit-identical to the
+	// pre-Searcher pipeline; see package search for beam, anneal and
+	// landscape. GA supplies the shared knobs (population/batch sizing,
+	// sequence length, composition, mutation rate, seed) for every
+	// strategy.
+	Search search.Config
 	// OnGeneration, if non-nil, observes each generation's curve point as
 	// the run progresses.
 	OnGeneration func(CurvePoint)
@@ -187,10 +195,10 @@ type Result struct {
 // Designer runs InSiPS on one problem. Create with NewDesigner; a
 // Designer is single-use and not safe for concurrent use.
 type Designer struct {
-	problem Problem
-	opts    Options
-	backend evalbackend.Backend // the full middleware chain evaluateAll calls
-	engine  *ga.Engine
+	problem  Problem
+	opts     Options
+	backend  evalbackend.Backend // the full middleware chain evaluateAll calls
+	searcher search.Searcher
 
 	problemFP uint64 // cache key namespace for this problem
 
@@ -270,14 +278,14 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 		}
 		d.backend = evalbackend.WithSurrogate(d.backend, cfg)
 	}
-	gaEngine, err := ga.New(opts.GA, ga.EvaluatorFunc(d.evaluateAll))
+	sr, err := search.New(opts.Search, opts.GA, ga.EvaluatorFunc(d.evaluateAll))
 	if err != nil {
 		return nil, err
 	}
 	if opts.Metrics != nil {
-		gaEngine.SetStageObserver(opts.Metrics.Observe)
+		sr.SetStageObserver(opts.Metrics.Observe)
 	}
-	d.engine = gaEngine
+	d.searcher = sr
 	return d, nil
 }
 
@@ -285,9 +293,14 @@ func NewDesigner(problem Problem, opts Options) (*Designer, error) {
 // value stamped into checkpoints and verified on resume.
 func (d *Designer) ProblemFP() uint64 { return d.problemFP }
 
-// Population returns the current (not yet evaluated) GA population.
-// The slice is owned by the engine; treat it as read-only.
-func (d *Designer) Population() []ga.Individual { return d.engine.Population() }
+// Population returns the current (not yet evaluated) candidate batch.
+// The slice is owned by the searcher; treat it as read-only.
+func (d *Designer) Population() []ga.Individual { return d.searcher.Population() }
+
+// Strategy returns the search strategy's registered name ("ga", "beam",
+// "anneal" or "landscape") — the value stamped into journal records and
+// checkpoints.
+func (d *Designer) Strategy() string { return d.searcher.Strategy() }
 
 // evaluateAll is the GA's fitness callback: it hands the generation to
 // the evaluation backend chain (fitness memo cache over metrics over
@@ -320,16 +333,7 @@ func (d *Designer) evaluateAll(seqs []seq.Sequence) []float64 {
 	// evaluation so the pool retains this generation's queries as the
 	// next one's delta parents. Backends without the delta path ignore
 	// the context value.
-	hints := make(map[string]string)
-	if prov := d.engine.Provenance(); prov != nil {
-		prevGen := d.engine.LastEvaluated()
-		for i, p := range prov {
-			if i < len(seqs) && p.ParentA >= 0 && p.ParentA < len(prevGen) {
-				hints[seqs[i].Residues()] = prevGen[p.ParentA].Seq.Residues()
-			}
-		}
-	}
-	ctx := cluster.WithParentHints(d.runCtx, hints)
+	ctx := cluster.WithParentHints(d.runCtx, d.searcher.ParentHints(seqs))
 	wcPre := d.problem.Engine.WindowCacheStats()
 	dqPre, _ := d.problem.Engine.DeltaStats()
 	pre := d.backend.Stats()
@@ -452,12 +456,12 @@ func (d *Designer) RunContext(ctx context.Context) (Result, error) {
 	if d.opts.WarmStart {
 		rng := rand.New(rand.NewSource(d.opts.GA.Seed))
 		pop := NaturalFragmentPopulation(d.problem.Engine, rng,
-			d.opts.GA.PopulationSize, d.opts.GA.SeqLen)
-		if err := d.engine.SetPopulation(pop); err != nil {
+			d.searcher.PopulationSize(), d.opts.GA.SeqLen)
+		if err := d.searcher.SetPopulation(pop); err != nil {
 			return Result{}, err
 		}
 	} else {
-		d.engine.InitPopulation()
+		d.searcher.InitPopulation()
 	}
 	return d.runLoop(ctx, nil, Detail{}, seq.Sequence{})
 }
@@ -467,13 +471,16 @@ func (d *Designer) Resume(cp obs.Checkpoint) (Result, error) {
 	return d.ResumeContext(context.Background(), cp)
 }
 
-// ResumeContext restores the GA from a checkpoint (population,
-// generation counter, best-ever individual and learning-curve prefix)
-// and continues the design loop. Because every GA draw derives from
-// (Seed, generation, slot), the continued run — curve, best sequence,
-// final population — is bit-identical to one that was never
-// interrupted. The checkpoint must come from the same problem
-// (fingerprint), seed and population size the Designer was built with.
+// ResumeContext restores the searcher from a checkpoint (population,
+// generation counter, best-ever individual, learning-curve prefix and
+// any strategy-private state blob) and continues the design loop.
+// Because every construction draw derives from (Seed, generation,
+// slot), the continued run — curve, best sequence, final population —
+// is bit-identical to one that was never interrupted. The checkpoint
+// must come from the same problem (fingerprint), seed, search strategy
+// and population size the Designer was built with; in particular a
+// checkpoint written under a different -strategy fails fast here rather
+// than silently continuing under the configured one.
 func (d *Designer) ResumeContext(ctx context.Context, cp obs.Checkpoint) (Result, error) {
 	if d.used {
 		return Result{}, fmt.Errorf("core: Designer is single-use")
@@ -488,9 +495,18 @@ func (d *Designer) ResumeContext(ctx context.Context, cp obs.Checkpoint) (Result
 	if cp.GASeed != d.opts.GA.Seed {
 		return Result{}, fmt.Errorf("core: checkpoint GA seed %d, designer uses %d", cp.GASeed, d.opts.GA.Seed)
 	}
-	if cp.PopulationSize != d.opts.GA.PopulationSize {
+	// Pre-strategy checkpoints carry no tag and were always GA runs.
+	cpStrategy := cp.Strategy
+	if cpStrategy == "" {
+		cpStrategy = search.StrategyGA
+	}
+	if cpStrategy != d.searcher.Strategy() {
+		return Result{}, fmt.Errorf("core: checkpoint was written by strategy %q, designer runs %q",
+			cpStrategy, d.searcher.Strategy())
+	}
+	if cp.PopulationSize != d.searcher.PopulationSize() {
 		return Result{}, fmt.Errorf("core: checkpoint population %d, designer uses %d",
-			cp.PopulationSize, d.opts.GA.PopulationSize)
+			cp.PopulationSize, d.searcher.PopulationSize())
 	}
 	d.used = true
 	pop := make([]seq.Sequence, len(cp.Population))
@@ -515,8 +531,8 @@ func (d *Designer) ResumeContext(ctx context.Context, cp obs.Checkpoint) (Result
 		}
 		bestSeq = s
 	}
-	if err := d.engine.Restore(cp.Generation, pop,
-		ga.Individual{Seq: bestSeq, Fitness: cp.BestFitness}, cp.BestEverGen); err != nil {
+	if err := d.searcher.Restore(cp.Generation, pop,
+		ga.Individual{Seq: bestSeq, Fitness: cp.BestFitness}, cp.BestEverGen, cp.SearchState); err != nil {
 		return Result{}, err
 	}
 	curve := make([]CurvePoint, 0, len(cp.Curve))
@@ -551,7 +567,7 @@ func (d *Designer) runLoop(ctx context.Context, curve []CurvePoint, bestDetail D
 	}
 	endRun := d.opts.Logger.Span("run",
 		"target", d.problem.TargetID, "non_targets", len(d.problem.NonTargetIDs),
-		"start_generation", d.engine.Generation())
+		"strategy", d.searcher.Strategy(), "start_generation", d.searcher.Generation())
 	for {
 		if err := ctx.Err(); err != nil {
 			// Make the interruption resumable: checkpoint the state the
@@ -561,7 +577,7 @@ func (d *Designer) runLoop(ctx context.Context, curve []CurvePoint, bestDetail D
 			return result(), err
 		}
 		genStart := time.Now()
-		st := d.engine.Step()
+		st := d.searcher.Step()
 		if d.evalErr != nil {
 			// The evaluation backend failed (e.g. the distributed master
 			// closed); return what the completed generations produced.
@@ -604,6 +620,8 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 	rec := obs.GenerationRecord{
 		Generation:         st.Generation,
 		TimeUnixMS:         time.Now().UnixMilli(),
+		Strategy:           d.searcher.Strategy(),
+		StrategyCounters:   d.searcher.Counters(),
 		BestFitness:        st.Best,
 		MeanFitness:        st.Mean,
 		MinFitness:         d.genMinFit,
@@ -631,7 +649,7 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 	}
 	// Checkpoint on cadence and always after the final generation, so a
 	// finished run's directory holds its terminal state.
-	if d.opts.Journal != nil && (final || d.opts.Journal.ShouldCheckpoint(d.engine.Generation())) {
+	if d.opts.Journal != nil && (final || d.opts.Journal.ShouldCheckpoint(d.searcher.Generation())) {
 		rec.Checkpointed = d.writeCheckpoint(curve, bestDetail)
 	}
 	if d.opts.OnJournalRecord != nil {
@@ -648,19 +666,26 @@ func (d *Designer) recordGeneration(st ga.Stats, cp CurvePoint, curve []CurvePoi
 		"cache_hits", rec.CacheHits, "eval_ms", rec.EvalWallMS)
 }
 
-// writeCheckpoint snapshots the engine state into the journal's
+// writeCheckpoint snapshots the searcher state into the journal's
 // checkpoint file. Returns whether a checkpoint was written.
 func (d *Designer) writeCheckpoint(curve []CurvePoint, bestDetail Detail) bool {
 	if d.opts.Journal == nil || len(curve) == 0 {
 		return false
 	}
 	start := time.Now()
-	bestEver, bestGen := d.engine.BestEver()
+	state, err := d.searcher.State()
+	if err != nil {
+		d.opts.Logger.Warn("checkpoint failed: strategy state", "err", err)
+		return false
+	}
+	bestEver, bestGen := d.searcher.BestEver()
 	cp := obs.Checkpoint{
 		ProblemFP:      d.problemFP,
 		GASeed:         d.opts.GA.Seed,
-		PopulationSize: d.opts.GA.PopulationSize,
-		Generation:     d.engine.Generation(),
+		Strategy:       d.searcher.Strategy(),
+		SearchState:    state,
+		PopulationSize: d.searcher.PopulationSize(),
+		Generation:     d.searcher.Generation(),
 		BestEverGen:    bestGen,
 		BestFitness:    bestDetail.Fitness,
 		BestTarget:     bestDetail.Target,
@@ -670,7 +695,7 @@ func (d *Designer) writeCheckpoint(curve []CurvePoint, bestDetail Detail) bool {
 	if bestEver.Seq.Len() > 0 {
 		cp.BestEver = obs.SequenceRecord{Name: bestEver.Seq.Name(), Residues: bestEver.Seq.Residues()}
 	}
-	for _, ind := range d.engine.Population() {
+	for _, ind := range d.searcher.Population() {
 		cp.Population = append(cp.Population, obs.SequenceRecord{Name: ind.Seq.Name(), Residues: ind.Seq.Residues()})
 	}
 	for _, p := range curve {

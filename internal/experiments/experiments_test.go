@@ -43,8 +43,8 @@ func quickEnv(t testing.TB) *Env {
 func TestRegistryComplete(t *testing.T) {
 	e := quickEnv(t)
 	reg := e.Registry()
-	if len(reg) != 16 {
-		t.Errorf("registry has %d exhibits, want 16 (5 tables + 9 figures + ablations + surrogate)", len(reg))
+	if len(reg) != 17 {
+		t.Errorf("registry has %d exhibits, want 17 (5 tables + 9 figures + ablations + surrogate + strategies)", len(reg))
 	}
 	for _, name := range Names() {
 		if _, ok := reg[name]; !ok {
@@ -52,8 +52,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Names() is the paper's exhibit list; the registry adds the extra
-	// ablations and surrogate drivers.
-	if len(Names())+2 != len(reg) {
+	// ablations, surrogate and strategies drivers.
+	if len(Names())+3 != len(reg) {
 		t.Errorf("Names() has %d entries, registry %d", len(Names()), len(reg))
 	}
 }
@@ -268,6 +268,29 @@ func TestSurrogate(t *testing.T) {
 		if !strings.Contains(string(data), series) {
 			t.Errorf("dat file missing series %q", series)
 		}
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design runs skipped in -short mode")
+	}
+	e := quickEnv(t)
+	if err := e.Strategies(); err != nil {
+		t.Fatal(err)
+	}
+	out := testBuf.String()
+	for _, want := range []string{"head-to-head", "easy", "hard", "beam", "anneal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strategies output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dataDir, "strategies_head_to_head.dat"))
+	if err != nil {
+		t.Fatal("strategies data file missing")
+	}
+	if !strings.Contains(string(data), "ga") || !strings.Contains(string(data), "anneal") {
+		t.Errorf("dat file missing strategy rows: %q", data)
 	}
 }
 

@@ -139,7 +139,16 @@ type Store struct {
 	now func() time.Time
 }
 
-// Open creates (MkdirAll) and opens a store directory.
+// walCompactThreshold is the wal.jsonl size, in bytes, past which Open
+// compacts it down to live-job transitions. Package variable as a test
+// seam; the default keeps years of routine transitions while bounding a
+// long-lived deployment's unbounded append growth.
+var walCompactThreshold int64 = 1 << 20
+
+// Open creates (MkdirAll) and opens a store directory. When the
+// transition log has outgrown walCompactThreshold it is compacted under
+// the store lock — terminal jobs' transitions are dropped (their record
+// files remain the durable truth), live jobs' history is kept.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("jobstore: empty store directory")
@@ -151,7 +160,94 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jobstore: opening lock file: %w", err)
 	}
-	return &Store{dir: dir, lockf: lockf, now: time.Now}, nil
+	s := &Store{dir: dir, lockf: lockf, now: time.Now}
+	if err := s.maybeCompactWAL(); err != nil {
+		lockf.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// maybeCompactWAL rewrites wal.jsonl keeping only transitions of jobs
+// that are still live (non-terminal records), when the log exceeds
+// walCompactThreshold. Runs under the full store lock so concurrent
+// replicas never see a half-rewritten log; the swap is
+// temp+fsync+rename like every record write. A final "compact" event
+// records the rewrite itself in the new log.
+func (s *Store) maybeCompactWAL() error {
+	if err := s.lock(); err != nil {
+		return err
+	}
+	defer s.unlock()
+	walPath := filepath.Join(s.dir, "wal.jsonl")
+	fi, err := os.Stat(walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: stat wal: %w", err)
+	}
+	if fi.Size() <= walCompactThreshold {
+		return nil
+	}
+	recs, err := s.listLocked()
+	if err != nil {
+		return err
+	}
+	live := make(map[string]bool)
+	for _, rec := range recs {
+		if !rec.State.Terminal() {
+			live[rec.ID] = true
+		}
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		return fmt.Errorf("jobstore: reading wal: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "wal.tmp*")
+	if err != nil {
+		return fmt.Errorf("jobstore: temp wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after rename
+	kept, dropped := 0, 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev walEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Torn tail (crash mid-append): everything after is gone anyway.
+			break
+		}
+		if !live[ev.ID] {
+			dropped++
+			continue
+		}
+		if _, err := fmt.Fprintf(tmp, "%s\n", line); err != nil {
+			tmp.Close()
+			return fmt.Errorf("jobstore: writing compacted wal: %w", err)
+		}
+		kept++
+	}
+	note, err := json.Marshal(walEvent{
+		TimeMS: s.now().UnixMilli(),
+		Event:  "compact",
+		Note:   fmt.Sprintf("kept %d, dropped %d transitions", kept, dropped),
+	})
+	if err == nil {
+		fmt.Fprintf(tmp, "%s\n", note)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: syncing compacted wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: closing compacted wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), walPath); err != nil {
+		return fmt.Errorf("jobstore: installing compacted wal: %w", err)
+	}
+	return nil
 }
 
 // Dir returns the store directory.

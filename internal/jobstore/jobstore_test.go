@@ -406,3 +406,100 @@ func TestTornRecordSkipped(t *testing.T) {
 func writeGarbage(s *Store) error {
 	return os.WriteFile(filepath.Join(s.dir, "jobs", "zz-torn.json"), []byte("{not json"), 0o644)
 }
+
+// TestWALCompactionOnOpen: once wal.jsonl outgrows the threshold, the
+// next Open rewrites it keeping only live-job transitions — and the
+// compaction loses no job record: every job, live or terminal, is still
+// fully present in the store afterwards.
+func TestWALCompactionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	// One job finished (terminal: its WAL lines are compactable) and one
+	// claimed and left running (live: its history must survive).
+	s.Create("alice", spec(1))
+	s.Create("bob", spec(2))
+	first, _, ok, err := s.Claim("replica-a", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if _, err := s.Finish(first.ID, "replica-a", Done, json.RawMessage(`{"ok":true}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	second, _, ok, err := s.Claim("replica-a", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("second claim: ok=%v err=%v", ok, err)
+	}
+	doneID, liveID := first.ID, second.ID
+
+	before, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preWAL, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preWAL) == 0 {
+		t.Fatal("setup produced no WAL lines")
+	}
+
+	// Force compaction on the next Open.
+	oldThreshold := walCompactThreshold
+	walCompactThreshold = 1
+	defer func() { walCompactThreshold = oldThreshold }()
+	s.Close()
+
+	re := open(t, dir)
+	after, err := re.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("compaction lost job records: %d before, %d after", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].ID != before[i].ID || after[i].State != before[i].State ||
+			after[i].Tenant != before[i].Tenant || string(after[i].Spec) != string(before[i].Spec) {
+			t.Fatalf("record %s changed across compaction:\nbefore %+v\nafter  %+v",
+				before[i].ID, before[i], after[i])
+		}
+	}
+
+	events, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCompact, liveLines := false, 0
+	for _, ev := range events {
+		switch {
+		case ev["event"] == "compact":
+			sawCompact = true
+		case ev["id"] == doneID:
+			t.Fatalf("terminal job %s still has WAL transitions after compaction: %v", doneID, ev)
+		case ev["id"] == liveID:
+			liveLines++
+		default:
+			t.Fatalf("unexpected WAL line: %v", ev)
+		}
+	}
+	if !sawCompact {
+		t.Fatal("compacted WAL is missing the compact marker event")
+	}
+	if liveLines == 0 {
+		t.Fatalf("live job %s lost its WAL history: %v", liveID, events)
+	}
+
+	// Below threshold, Open leaves the log alone.
+	walCompactThreshold = 1 << 20
+	re.Close()
+	re2 := open(t, dir)
+	again, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(events) {
+		t.Fatalf("sub-threshold Open rewrote the WAL: %d lines, want %d", len(again), len(events))
+	}
+	_ = re2
+}

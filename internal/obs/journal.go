@@ -115,8 +115,45 @@ type GenerationRecord struct {
 	TasksReissued int64 `json:"tasks_reissued,omitempty"`
 	LeasesExpired int64 `json:"leases_expired,omitempty"`
 
+	// Strategy names the search strategy that produced this generation
+	// ("ga", "beam", "anneal", "landscape"). Empty in records written
+	// before pluggable strategies existed (implicitly the GA).
+	Strategy string `json:"strategy,omitempty"`
+
+	// StrategyCounters carries the per-strategy counters of this
+	// generation, embedded so each counter keeps its own omitempty (GA
+	// records stay byte-compatible with the pre-strategy format).
+	StrategyCounters
+
 	// Checkpointed marks records after which a checkpoint was written.
 	Checkpointed bool `json:"checkpointed,omitempty"`
+}
+
+// StrategyCounters holds the per-generation counters specific to one
+// search strategy (internal/search). Exactly one strategy's group is
+// populated per record; every field is zero for GA generations. A flat
+// comparable struct (no maps/slices) keeps GenerationRecord usable as a
+// value in golden-trajectory comparisons.
+type StrategyCounters struct {
+	// Beam search: the configured beam width, the number of distinct
+	// child sequences in the next batch (diversity signal), and the
+	// extra expansions granted to the elite node this step.
+	BeamWidth          int `json:"beam_width,omitempty"`
+	BeamUniqueChildren int `json:"beam_unique,omitempty"`
+	BeamEliteExtra     int `json:"beam_elite_extra,omitempty"`
+
+	// Simulated annealing: the step's temperature, proposals accepted,
+	// and the subset of acceptances that were uphill (worse-fitness)
+	// Metropolis moves.
+	AnnealTemperature float64 `json:"anneal_temp,omitempty"`
+	AnnealAccepted    int     `json:"anneal_accepted,omitempty"`
+	AnnealUphill      int     `json:"anneal_uphill,omitempty"`
+
+	// Landscape analysis: cumulative local optima recorded and walker
+	// restarts, plus this generation's neutral-band acceptances.
+	LandscapeOptima         int `json:"landscape_optima,omitempty"`
+	LandscapeRestarts       int `json:"landscape_restarts,omitempty"`
+	LandscapeNeutralAccepts int `json:"landscape_neutral_accepts,omitempty"`
 }
 
 // AccountedCandidates sums the four ways a submitted candidate can be
@@ -176,6 +213,18 @@ type Checkpoint struct {
 
 	// Curve is the learning-curve prefix up to Generation.
 	Curve []CurveRecord
+
+	// Strategy tags the search strategy that wrote the checkpoint.
+	// Empty in checkpoints written before pluggable strategies existed,
+	// which resume treats as "ga". A Designer configured with a
+	// different strategy refuses the checkpoint — strategy state is not
+	// interchangeable even when the batch shapes happen to agree.
+	Strategy string
+
+	// SearchState is the strategy's opaque private state blob
+	// (Searcher.State): annealing chains, landscape walkers. Nil for
+	// strategies whose candidate batch is self-describing (ga, beam).
+	SearchState []byte
 }
 
 // Validate rejects structurally unusable checkpoints before a resume

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/seq"
 )
 
@@ -89,6 +90,22 @@ type DesignRequest struct {
 	Surrogate        bool    `json:"surrogate,omitempty"`
 	SurrogateTopK    float64 `json:"surrogate_topk,omitempty"`
 	SurrogateExplore float64 `json:"surrogate_explore,omitempty"`
+	// Strategy selects the search strategy driving the design loop:
+	// "ga" (default), "beam", "anneal" or "landscape" — see package
+	// search. The strategy is journaled and stamped into checkpoints, so
+	// a job resumed after replica handoff fails fast if its checkpoint
+	// was written under a different strategy. The per-strategy knobs
+	// below require their strategy; zero values take the package
+	// defaults (beam: width 8, expand 6, elite-extra 6; anneal: t0 0.02,
+	// cooling 0.995; landscape: eps 0.01, patience 20).
+	Strategy          string  `json:"strategy,omitempty"`
+	BeamWidth         int     `json:"beam_width,omitempty"`
+	BeamExpand        int     `json:"beam_expand,omitempty"`
+	BeamEliteExtra    int     `json:"beam_elite_extra,omitempty"`
+	AnnealT0          float64 `json:"anneal_t0,omitempty"`
+	AnnealCooling     float64 `json:"anneal_cooling,omitempty"`
+	LandscapeEps      float64 `json:"landscape_eps,omitempty"`
+	LandscapePatience int     `json:"landscape_patience,omitempty"`
 	// WindowCache bounds the engine's shared window-similarity cache in
 	// entries (~100 bytes each); 0 disables the cache, nil keeps the
 	// service default. Note the engine cache shares one engine per
@@ -105,6 +122,7 @@ type JobJSON struct {
 	ID          string           `json:"id"`
 	State       JobState         `json:"state"`
 	Target      string           `json:"target"`
+	Strategy    string           `json:"strategy"`
 	NonTargets  int              `json:"non_targets"`
 	Created     time.Time        `json:"created"`
 	Started     *time.Time       `json:"started,omitempty"`
@@ -419,6 +437,32 @@ func (s *Server) specFromRequest(req DesignRequest) (designSpec, error) {
 		return designSpec{}, fmt.Errorf("seq_len %d too short: need >= %d",
 			spec.GA.SeqLen, 2*spec.GA.CrossoverMargin+2)
 	}
+	spec.Search = search.Config{Strategy: req.Strategy}
+	switch spec.Search.Name() {
+	case search.StrategyGA, search.StrategyBeam, search.StrategyAnneal, search.StrategyLandscape:
+	default:
+		return designSpec{}, fmt.Errorf("strategy %q unknown: must be one of %v", req.Strategy, search.Strategies())
+	}
+	if spec.Search.Name() != search.StrategyBeam && (req.BeamWidth != 0 || req.BeamExpand != 0 || req.BeamEliteExtra != 0) {
+		return designSpec{}, fmt.Errorf("beam_width/beam_expand/beam_elite_extra require strategy \"beam\"")
+	}
+	if spec.Search.Name() != search.StrategyAnneal && (req.AnnealT0 != 0 || req.AnnealCooling != 0) {
+		return designSpec{}, fmt.Errorf("anneal_t0/anneal_cooling require strategy \"anneal\"")
+	}
+	if spec.Search.Name() != search.StrategyLandscape && (req.LandscapeEps != 0 || req.LandscapePatience != 0) {
+		return designSpec{}, fmt.Errorf("landscape_eps/landscape_patience require strategy \"landscape\"")
+	}
+	switch spec.Search.Name() {
+	case search.StrategyBeam:
+		spec.Search.Beam = search.BeamConfig{Width: req.BeamWidth, Expand: req.BeamExpand, EliteExtra: req.BeamEliteExtra}
+	case search.StrategyAnneal:
+		spec.Search.Anneal = search.AnnealConfig{T0: req.AnnealT0, Cooling: req.AnnealCooling}
+	case search.StrategyLandscape:
+		spec.Search.Landscape = search.LandscapeConfig{Eps: req.LandscapeEps, Patience: req.LandscapePatience}
+	}
+	if err := spec.Search.Validate(); err != nil {
+		return designSpec{}, err
+	}
 	return spec, nil
 }
 
@@ -694,6 +738,7 @@ func (s *Server) storeJobJSON(rec jobstore.Record, withCurve bool) JobJSON {
 	var req DesignRequest
 	if err := json.Unmarshal(rec.Spec, &req); err == nil {
 		out.Target = req.Target
+		out.Strategy = search.Config{Strategy: req.Strategy}.Name()
 		if spec, err := s.specFromRequest(req); err == nil {
 			out.NonTargets = len(spec.NonTargetIDs)
 		}
@@ -716,6 +761,7 @@ func renderJobJSON(snap jobSnapshot, withCurve bool) JobJSON {
 		ID:          snap.ID,
 		State:       snap.State,
 		Target:      snap.Spec.TargetName,
+		Strategy:    snap.Spec.Search.Name(),
 		NonTargets:  len(snap.Spec.NonTargetIDs),
 		Created:     snap.Created,
 		Generations: len(snap.Curve),

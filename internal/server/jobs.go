@@ -15,6 +15,7 @@ import (
 	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/pipe"
+	"repro/internal/search"
 	"repro/internal/seq"
 )
 
@@ -64,6 +65,11 @@ type designSpec struct {
 	Surrogate        bool
 	SurrogateTopK    float64
 	SurrogateExplore float64
+	// Search selects the job's search strategy (zero value = GA). The
+	// strategy tag rides the checkpoint, so a resumed job — including
+	// one claimed by a peer replica — fails fast on a strategy mismatch
+	// instead of silently continuing under a different searcher.
+	Search search.Config
 }
 
 // maxShards bounds the per-job evaluation pool fan-out a request may ask
@@ -457,6 +463,7 @@ func (s *jobStore) prepare(j *job, jobLogger *obs.Logger) (*core.Designer, func(
 	jobCluster.Metrics = s.obs.stages
 	opts := core.Options{
 		GA:                  j.spec.GA,
+		Search:              j.spec.Search,
 		Cluster:             jobCluster,
 		Termination:         j.spec.Termination,
 		WarmStart:           j.spec.WarmStart,
@@ -514,6 +521,20 @@ func (s *jobStore) prepare(j *job, jobLogger *obs.Logger) (*core.Designer, func(
 		}
 		cleanup = func() { journal.Close() }
 		opts.Journal = journal
+		if j.spec.Search.Name() == search.StrategyLandscape {
+			// The landscape census rides alongside the job's journal,
+			// appended so a resumed job extends it.
+			census, err := search.NewCensusWriter(search.CensusPath(filepath.Join(s.obs.journalDir, j.id)))
+			if err != nil {
+				journal.Close()
+				return nil, func() {}, fmt.Errorf("server: opening landscape census: %w", err)
+			}
+			cleanup = func() {
+				census.Close()
+				journal.Close()
+			}
+			opts.Search.Landscape.OnCensus = census.Append
+		}
 	}
 	designer, err := core.NewDesigner(core.Problem{
 		Engine:       engine,

@@ -18,9 +18,13 @@ import (
 //	: heartbeat                comment keep-alives while the GA computes
 //
 // `?from=N` replays from generation N (default: everything still in the
-// in-memory ring). Jobs running on this replica stream live from the
-// progress ring; in store mode, jobs owned by peer replicas are followed
-// by incrementally re-reading their shared on-disk journal.
+// in-memory ring). Reconnecting EventSource clients are resumed
+// automatically: each event's SSE id is its generation, so a standard
+// `Last-Event-ID: N` header replays from generation N+1 — the explicit
+// `?from=` wins when both are present. Jobs running on this replica
+// stream live from the progress ring; in store mode, jobs owned by peer
+// replicas are followed by incrementally re-reading their shared
+// on-disk journal.
 func (s *Server) handleDesignEvents(w http.ResponseWriter, r *http.Request) {
 	j, rec, ok := s.lookupJob(w, r)
 	if !ok {
@@ -34,6 +38,13 @@ func (s *Server) handleDesignEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		from = v
+	} else if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad Last-Event-ID %q: want a non-negative integer", raw)
+			return
+		}
+		from = v + 1 // the client already has generation v
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
